@@ -1,0 +1,257 @@
+package repro
+
+// Benchmarks regenerating the paper's evaluation, one per figure, plus
+// ablations for the design choices called out in DESIGN.md. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figures proper (with per-benchmark columns and normalization) are
+// produced by cmd/ssabench; these testing.B entries measure the same code
+// paths and expose the headline metrics to `go test -bench`.
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/coalesce"
+	"repro/internal/congruence"
+	"repro/internal/core"
+	"repro/internal/dom"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+	"repro/internal/parcopy"
+	"repro/internal/sreedhar"
+	"repro/internal/ssa"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     []bench.Benchmark
+	suiteFns  []*ir.Func
+)
+
+func workload() []*ir.Func {
+	suiteOnce.Do(func() {
+		suite = bench.Suite(0.25)
+		for _, b := range suite {
+			suiteFns = append(suiteFns, b.Funcs...)
+		}
+	})
+	return suiteFns
+}
+
+func translateAll(b *testing.B, opt core.Options) *core.Stats {
+	b.Helper()
+	fns := workload()
+	var last *core.Stats
+	total := &core.Stats{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, f := range fns {
+			clone := ir.Clone(f)
+			b.StopTimer() // cloning is not part of the translation cost
+			clone2 := clone
+			b.StartTimer()
+			st, err := core.Translate(clone2, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = st
+			if i == 0 {
+				total.RemainingCopies += st.RemainingCopies
+				total.FinalCopies += st.FinalCopies
+			}
+		}
+	}
+	b.ReportMetric(float64(total.RemainingCopies), "copies-remaining")
+	_ = last
+	return total
+}
+
+// BenchmarkFig5 measures each coalescing strategy; the copies-remaining
+// metric is the quantity Figure 5 plots (normalize against Intersect).
+func BenchmarkFig5(b *testing.B) {
+	for _, s := range core.Strategies {
+		opt := core.Options{Strategy: s, Linear: true, LiveCheck: true}
+		if s == core.SreedharIII {
+			opt = core.Options{Strategy: s, Virtualize: true, UseGraph: true}
+		}
+		b.Run(s.String(), func(b *testing.B) {
+			translateAll(b, opt)
+		})
+	}
+}
+
+// BenchmarkFig6 times the seven machinery configurations of Figure 6 on the
+// suite (Sreedhar III is the paper's baseline).
+func BenchmarkFig6(b *testing.B) {
+	for _, cfg := range bench.Fig6Configs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			translateAll(b, cfg.Opt)
+		})
+	}
+}
+
+// BenchmarkFig7 reports the memory footprints of Figure 7 as metrics:
+// bytes actually held by the interference graph and liveness structures,
+// plus the paper's perfect-memory evaluations.
+func BenchmarkFig7(b *testing.B) {
+	for _, cfg := range bench.Fig6Configs() {
+		b.Run(cfg.Name, func(b *testing.B) {
+			fns := workload()
+			var measured, ordered, bits float64
+			for i := 0; i < b.N; i++ {
+				measured, ordered, bits = 0, 0, 0
+				for _, f := range fns {
+					st, err := core.Translate(ir.Clone(f), cfg.Opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					measured += float64(st.GraphBytes + st.LiveSetBytes + st.LiveCheckBytes)
+					ordered += float64(st.GraphEval + st.LiveSetEval + st.LiveCheckEval)
+					bits += float64(st.GraphEval + st.LiveSetBitEval + st.LiveCheckEval)
+				}
+			}
+			b.ReportMetric(measured, "bytes-measured")
+			b.ReportMetric(ordered, "bytes-ordered-eval")
+			b.ReportMetric(bits, "bytes-bitset-eval")
+		})
+	}
+}
+
+// BenchmarkAblationClassInterference compares the paper's linear
+// congruence-class interference test against the quadratic all-pairs test
+// on identical merge workloads (DESIGN.md ablation).
+func BenchmarkAblationClassInterference(b *testing.B) {
+	run := func(b *testing.B, linear bool) {
+		fns := workload()
+		tests := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, orig := range fns {
+				f := ir.Clone(orig)
+				sreedhar.SplitDuplicatePredEdges(f)
+				sreedhar.SplitBranchDefEdges(f)
+				ins, err := sreedhar.InsertCopies(f)
+				if err != nil {
+					b.Fatal(err)
+				}
+				dt := dom.Build(f)
+				du := ir.NewDefUse(f)
+				chk := &interference.Checker{
+					F: f, DT: dt, DU: du,
+					Live: livecheck.New(f, dt, du),
+					Vals: ssa.Values(f, dt),
+				}
+				classes := congruence.New(chk)
+				for _, node := range ins.PhiNodes {
+					for j := 1; j < len(node); j++ {
+						classes.MergeForced(node[0], node[j])
+					}
+				}
+				m := &coalesce.Machinery{Chk: chk, Classes: classes, Linear: linear}
+				coalesce.Run(m, ins.Affinities, coalesce.Value, false)
+				tests += classes.Tests
+			}
+		}
+		b.ReportMetric(float64(tests)/float64(b.N), "pair-tests")
+	}
+	b.Run("Linear", func(b *testing.B) { run(b, true) })
+	b.Run("Quadratic", func(b *testing.B) { run(b, false) })
+}
+
+// BenchmarkAblationLiveness compares constructing dataflow liveness sets
+// (bit sets and ordered sets) against the CFG-only liveness checker.
+func BenchmarkAblationLiveness(b *testing.B) {
+	fns := workload()
+	b.Run("Sets-Bit", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range fns {
+				liveness.ComputeWith(f, liveness.Bitsets)
+			}
+		}
+	})
+	b.Run("Sets-Ordered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range fns {
+				liveness.ComputeWith(f, liveness.OrderedSets)
+			}
+		}
+	})
+	b.Run("LiveCheck", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, f := range fns {
+				dt := dom.Build(f)
+				livecheck.New(f, dt, ir.NewDefUse(f))
+			}
+		}
+	})
+}
+
+// BenchmarkAblationSequentialization measures Algorithm 1 and reports how
+// many copies a naive per-pair-temporary sequentializer would emit instead.
+func BenchmarkAblationSequentialization(b *testing.B) {
+	// A mix of permutations (cycles) and fan-out trees.
+	type pc struct{ dsts, srcs []ir.VarID }
+	var cases []pc
+	for n := 2; n <= 12; n++ {
+		perm := make([]ir.VarID, n)
+		for i := range perm {
+			perm[i] = ir.VarID((i + 1) % n) // one n-cycle
+		}
+		ids := make([]ir.VarID, n)
+		for i := range ids {
+			ids[i] = ir.VarID(i)
+		}
+		cases = append(cases, pc{dsts: perm, srcs: ids})
+	}
+	scratch := ir.VarID(1000)
+	emitted, naive := 0, 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		emitted, naive = 0, 0
+		for _, c := range cases {
+			seq := parcopy.Sequentialize(c.dsts, c.srcs, func() ir.VarID { return scratch })
+			emitted += len(seq)
+			naive += parcopy.NaiveCount(c.dsts, c.srcs)
+		}
+	}
+	b.ReportMetric(float64(emitted), "copies-optimal")
+	b.ReportMetric(float64(naive), "copies-naive")
+}
+
+// BenchmarkAblationPhases breaks the translation time of the final
+// configuration into the paper's four conceptual phases (copy insertion,
+// analyses, coalescing, rewrite), as per-op metrics.
+func BenchmarkAblationPhases(b *testing.B) {
+	for _, cfg := range []bench.Config{
+		{Name: "Sreedhar III", Opt: core.Options{Strategy: core.SreedharIII, Virtualize: true, UseGraph: true, OrderedSets: true}},
+		{Name: "Us I Linear LiveCheck", Opt: core.Options{Strategy: core.Value, Linear: true, LiveCheck: true}},
+	} {
+		b.Run(cfg.Name, func(b *testing.B) {
+			fns := workload()
+			var ins, ana, coa, rew int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ins, ana, coa, rew = 0, 0, 0, 0
+				for _, f := range fns {
+					st, err := core.Translate(ir.Clone(f), cfg.Opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					ins += st.InsertNanos
+					ana += st.AnalyzeNanos
+					coa += st.CoalesceNanos
+					rew += st.RewriteNanos
+				}
+			}
+			b.ReportMetric(float64(ins), "ns-insert")
+			b.ReportMetric(float64(ana), "ns-analyze")
+			b.ReportMetric(float64(coa), "ns-coalesce")
+			b.ReportMetric(float64(rew), "ns-rewrite")
+		})
+	}
+}

@@ -1,0 +1,69 @@
+// Command ssabench regenerates the paper's evaluation figures on the
+// synthetic SPEC CINT2000 stand-in suite:
+//
+//	ssabench -fig 5           # remaining copies per coalescing strategy
+//	ssabench -fig 6 -reps 3   # translation speed per machinery combination
+//	ssabench -fig 7           # memory footprint per machinery combination
+//	ssabench -fig all         # everything
+//
+// -scale shrinks or grows the workload; -weighted adds the
+// frequency-weighted companion of Figure 5.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all")
+	scale := flag.Float64("scale", 1, "workload scale factor")
+	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
+	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
+	flag.Parse()
+
+	suite := bench.Suite(*scale)
+	total := 0
+	for _, b := range suite {
+		total += len(b.Funcs)
+	}
+	fmt.Printf("suite: %d benchmarks, %d functions (scale %g)\n\n", len(suite), total, *scale)
+
+	switch *fig {
+	case "5":
+		fig5(suite, *weighted)
+	case "6":
+		fig6(suite, *reps)
+	case "7":
+		fig7(suite)
+	case "all":
+		fig5(suite, *weighted)
+		fmt.Println()
+		fig6(suite, *reps)
+		fmt.Println()
+		fig7(suite)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func fig5(suite []bench.Benchmark, weighted bool) {
+	rows := bench.Fig5(suite)
+	fmt.Print(bench.FormatFig5(suite, rows, false))
+	if weighted {
+		fmt.Println()
+		fmt.Print(bench.FormatFig5(suite, rows, true))
+	}
+}
+
+func fig6(suite []bench.Benchmark, reps int) {
+	fmt.Print(bench.FormatFig6(suite, bench.Fig6(suite, reps)))
+}
+
+func fig7(suite []bench.Benchmark) {
+	fmt.Print(bench.FormatFig7(bench.Fig7(suite)))
+}

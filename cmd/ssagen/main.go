@@ -1,0 +1,47 @@
+// Command ssagen emits functions from the synthetic SPEC CINT2000 stand-in
+// workload generator in the textual IR format, for inspection or for
+// feeding cmd/ssadump:
+//
+//	ssagen -name 176.gcc -seed 176 -funcs 3           # SSA, copy-folded
+//	ssagen -raw                                       # before SSA construction
+//	ssagen | ssadump -strategy sharing -stats -run 3,4 -
+//
+// Output is deterministic for a given flag set.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/cfggen"
+)
+
+func main() {
+	name := flag.String("name", "sample", "benchmark name (labels the functions)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	funcs := flag.Int("funcs", 1, "number of functions")
+	stmts := flag.Int("stmts", 80, "maximum statement budget per function")
+	raw := flag.Bool("raw", false, "emit pre-SSA code (multiple assignments, no φs)")
+	flag.Parse()
+
+	p := cfggen.DefaultProfile(*name, *seed)
+	p.Funcs = *funcs
+	p.MaxStmts = *stmts
+	p.MinStmts = *stmts / 3
+	if *raw {
+		p.Propagate = false
+		for i, f := range cfggen.GenerateRaw(p) {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(f)
+		}
+		return
+	}
+	for i, f := range cfggen.Generate(p) {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(f)
+	}
+}

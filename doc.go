@@ -1,0 +1,12 @@
+// Package repro reproduces "Revisiting Out-of-SSA Translation for
+// Correctness, Code Quality, and Efficiency" (Boissinot, Darte, Rastello,
+// Dupont de Dinechin, Guillon — CGO 2009) as a self-contained Go library.
+//
+// The paper's translator lives in internal/core; the substrates it depends
+// on (IR, dominance, liveness, fast liveness checking, interference,
+// congruence classes, parallel-copy sequentialization, the Sreedhar
+// methods, a synthetic SPEC CINT2000 workload generator and an interpreter
+// used as a correctness oracle) each live in their own internal package.
+// cmd/ssabench regenerates the paper's Figures 5-7; cmd/ssadump translates
+// textual SSA functions. See README.md and DESIGN.md for the map.
+package repro

@@ -1,0 +1,77 @@
+// Quickstart: parse a small SSA function, translate it out of SSA with the
+// paper's recommended configuration (value-based coalescing, linear class
+// interference test, fast liveness checking — "Us I + Linear + InterCheck +
+// LiveCheck"), and print the code before and after along with the
+// translation statistics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// A loop whose φ web is non-conventional: x2 and x3 overlap (the lost-copy
+// shape), so a naive φ elimination would be wrong.
+const src = `
+func quickstart {
+entry:
+  x1 = param 0
+  jump loop
+loop (freq 10):
+  x2 = phi entry:x1 loop:x3
+  one = const 1
+  x3 = add x2 one
+  ten = const 10
+  c = cmplt x3 ten
+  br c loop exit
+exit:
+  print x2
+  ret x2
+}
+`
+
+func main() {
+	f, err := ir.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orig := ir.Clone(f)
+
+	fmt.Println("==== SSA input ====")
+	fmt.Print(f)
+
+	stats, err := core.Translate(f, core.Options{
+		Strategy:  core.Value,
+		Linear:    true,
+		LiveCheck: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\n==== after out-of-SSA translation ====")
+	fmt.Print(f)
+
+	fmt.Printf("\nφ-functions eliminated: %d\n", stats.Phis)
+	fmt.Printf("candidate copies:       %d\n", stats.Affinities)
+	fmt.Printf("copies left in code:    %d\n", stats.FinalCopies)
+	fmt.Printf("intersection tests:     %d\n", stats.IntersectionTests)
+
+	// The interpreter confirms the translation is observably equivalent.
+	for _, params := range [][]int64{{0}, {5}, {9}} {
+		want, err := interp.Run(orig, params, 10000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := interp.Run(f, params, 10000)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("param %2d → ret %d (trace %v), equivalent: %v\n",
+			params[0], got.Ret, got.Trace, interp.Equal(want, got))
+	}
+}

@@ -1,0 +1,120 @@
+// Package bench regenerates the paper's evaluation (Figures 5, 6 and 7) on
+// the synthetic SPEC CINT2000 stand-in suite of package cfggen. It is
+// shared by cmd/ssabench and the root testing.B benchmarks.
+package bench
+
+import (
+	"time"
+
+	"repro/internal/cfggen"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// Benchmark is one named workload of the suite.
+type Benchmark struct {
+	Name  string
+	Funcs []*ir.Func
+}
+
+// spec describes the eleven SPEC CINT2000 benchmarks the paper evaluates
+// (eon, the C++ benchmark, is excluded there too). The size knobs roughly
+// track the relative code sizes of the originals: gcc is by far the
+// largest, mcf the smallest.
+var spec = []struct {
+	name  string
+	seed  int64
+	funcs int
+	stmts int
+}{
+	{"164.gzip", 164, 10, 160},
+	{"175.vpr", 175, 14, 190},
+	{"176.gcc", 176, 24, 280},
+	{"181.mcf", 181, 6, 110},
+	{"186.crafty", 186, 14, 210},
+	{"197.parser", 197, 16, 180},
+	{"253.perlbmk", 253, 18, 240},
+	{"254.gap", 254, 16, 210},
+	{"255.vortex", 255, 16, 230},
+	{"256.bzip2", 256, 8, 140},
+	{"300.twolf", 300, 14, 200},
+}
+
+// Suite generates the eleven benchmarks deterministically. scale multiplies
+// function counts (1 reproduces the default suite; tests use a smaller
+// scale).
+func Suite(scale float64) []Benchmark {
+	out := make([]Benchmark, 0, len(spec))
+	for _, s := range spec {
+		p := cfggen.DefaultProfile(s.name, s.seed)
+		p.Funcs = int(float64(s.funcs)*scale + 0.5)
+		if p.Funcs < 1 {
+			p.Funcs = 1
+		}
+		p.MaxStmts = s.stmts
+		p.MinStmts = s.stmts / 3
+		out = append(out, Benchmark{Name: s.name, Funcs: cfggen.Generate(p)})
+	}
+	return out
+}
+
+// Names returns the benchmark names in suite order plus the "sum" column.
+func Names(suite []Benchmark) []string {
+	names := make([]string, 0, len(suite)+1)
+	for _, b := range suite {
+		names = append(names, b.Name)
+	}
+	return append(names, "sum")
+}
+
+// translate runs one configuration over a fresh clone of f.
+func translate(f *ir.Func, opt core.Options) *core.Stats {
+	st, err := core.Translate(ir.Clone(f), opt)
+	if err != nil {
+		panic("bench: " + f.Name + ": " + err.Error())
+	}
+	return st
+}
+
+// runSuite translates every function of every benchmark, returning the
+// per-benchmark aggregated stats and the wall-clock time spent inside the
+// translator only.
+func runSuite(suite []Benchmark, opt core.Options) ([]core.Stats, time.Duration) {
+	agg := make([]core.Stats, len(suite))
+	var elapsed time.Duration
+	for i, b := range suite {
+		for _, f := range b.Funcs {
+			clone := ir.Clone(f)
+			start := time.Now()
+			st, err := core.Translate(clone, opt)
+			elapsed += time.Since(start)
+			if err != nil {
+				panic("bench: " + f.Name + ": " + err.Error())
+			}
+			accumulate(&agg[i], st)
+		}
+	}
+	return agg, elapsed
+}
+
+func accumulate(dst *core.Stats, st *core.Stats) {
+	dst.Blocks += st.Blocks
+	dst.Vars += st.Vars
+	dst.Phis += st.Phis
+	dst.Affinities += st.Affinities
+	dst.RemainingCopies += st.RemainingCopies
+	dst.RemainingWeight += st.RemainingWeight
+	dst.SharedRemoved += st.SharedRemoved
+	dst.FinalCopies += st.FinalCopies
+	dst.CycleCopies += st.CycleCopies
+	dst.SplitEdges += st.SplitEdges
+	dst.IntersectionTests += st.IntersectionTests
+	dst.MaterializedVars += st.MaterializedVars
+	dst.GraphBytes += st.GraphBytes
+	dst.GraphEval += st.GraphEval
+	dst.LiveSetBytes += st.LiveSetBytes
+	dst.LiveSetEval += st.LiveSetEval
+	dst.LiveSetBitEval += st.LiveSetBitEval
+	dst.LiveCheckBytes += st.LiveCheckBytes
+	dst.LiveCheckEval += st.LiveCheckEval
+}

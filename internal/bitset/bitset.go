@@ -1,0 +1,217 @@
+// Package bitset provides the small set representations used throughout the
+// out-of-SSA translator: dense bit sets, half-size triangular bit matrices
+// (for interference graphs), and sorted "ordered sets" (the liveness-set
+// representation benchmarked by the paper). Every container can report its
+// memory footprint in bytes so the benchmark harness can reproduce the
+// paper's Figure 7 measurements.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a dense bit set over small non-negative integers.
+// The zero value is an empty set of capacity 0.
+type Set struct {
+	words []uint64
+	n     int // capacity in bits
+}
+
+// New returns a set able to hold values in [0, n).
+func New(n int) *Set {
+	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
+}
+
+// Len returns the capacity of the set in bits.
+func (s *Set) Len() int { return s.n }
+
+// Grow extends the capacity to at least n bits, preserving contents.
+func (s *Set) Grow(n int) {
+	if n <= s.n {
+		return
+	}
+	need := (n + wordBits - 1) / wordBits
+	if need > len(s.words) {
+		w := make([]uint64, need)
+		copy(w, s.words)
+		s.words = w
+	}
+	s.n = n
+}
+
+// Add inserts i into the set.
+func (s *Set) Add(i int) {
+	if i >= s.n {
+		s.Grow(i + 1)
+	}
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Remove deletes i from the set.
+func (s *Set) Remove(i int) {
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// Has reports whether i is in the set.
+func (s *Set) Has(i int) bool {
+	if i < 0 || i/wordBits >= len(s.words) {
+		return false
+	}
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Clear removes all elements, keeping capacity.
+func (s *Set) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Count returns the number of elements in the set.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// Empty reports whether the set has no elements.
+func (s *Set) Empty() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Copy returns an independent copy of s.
+func (s *Set) Copy() *Set {
+	w := make([]uint64, len(s.words))
+	copy(w, s.words)
+	return &Set{words: w, n: s.n}
+}
+
+// CopyFrom overwrites s with the contents of t, growing s if needed.
+func (s *Set) CopyFrom(t *Set) {
+	s.Grow(t.n)
+	copy(s.words, t.words)
+	for i := len(t.words); i < len(s.words); i++ {
+		s.words[i] = 0
+	}
+}
+
+// UnionWith adds all elements of t to s and reports whether s changed.
+func (s *Set) UnionWith(t *Set) bool {
+	s.Grow(t.n)
+	changed := false
+	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith keeps only elements present in both s and t.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// DifferenceWith removes all elements of t from s.
+func (s *Set) DifferenceWith(t *Set) {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		s.words[i] &^= t.words[i]
+	}
+}
+
+// Intersects reports whether s and t share at least one element.
+func (s *Set) Intersects(t *Set) bool {
+	n := len(s.words)
+	if len(t.words) < n {
+		n = len(t.words)
+	}
+	for i := 0; i < n; i++ {
+		if s.words[i]&t.words[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Equal reports whether s and t contain exactly the same elements.
+func (s *Set) Equal(t *Set) bool {
+	long, short := s.words, t.words
+	if len(long) < len(short) {
+		long, short = short, long
+	}
+	for i := range short {
+		if long[i] != short[i] {
+			return false
+		}
+	}
+	for i := len(short); i < len(long); i++ {
+		if long[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls f for each element in increasing order.
+func (s *Set) ForEach(f func(int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			f(wi*wordBits + b)
+			w &^= 1 << uint(b)
+		}
+	}
+}
+
+// Elems returns the elements in increasing order.
+func (s *Set) Elems() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// Bytes returns the memory footprint of the payload in bytes.
+func (s *Set) Bytes() int { return len(s.words) * 8 }
+
+// String renders the set as "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

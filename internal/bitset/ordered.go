@@ -1,0 +1,80 @@
+package bitset
+
+import "sort"
+
+// Ordered is a sorted slice of distinct ints: the "ordered set"
+// representation the paper uses for liveness sets in the memory-footprint
+// comparison of Figure 7.
+type Ordered struct {
+	elems []int32
+}
+
+// NewOrdered returns an empty ordered set with the given capacity hint.
+func NewOrdered(capHint int) *Ordered {
+	return &Ordered{elems: make([]int32, 0, capHint)}
+}
+
+// Len returns the number of elements.
+func (o *Ordered) Len() int { return len(o.elems) }
+
+// Has reports whether v is in the set.
+func (o *Ordered) Has(v int) bool {
+	i := sort.Search(len(o.elems), func(i int) bool { return o.elems[i] >= int32(v) })
+	return i < len(o.elems) && o.elems[i] == int32(v)
+}
+
+// Add inserts v, keeping the slice sorted. Reports whether the set changed.
+func (o *Ordered) Add(v int) bool {
+	i := sort.Search(len(o.elems), func(i int) bool { return o.elems[i] >= int32(v) })
+	if i < len(o.elems) && o.elems[i] == int32(v) {
+		return false
+	}
+	o.elems = append(o.elems, 0)
+	copy(o.elems[i+1:], o.elems[i:])
+	o.elems[i] = int32(v)
+	return true
+}
+
+// Remove deletes v if present. Reports whether the set changed.
+func (o *Ordered) Remove(v int) bool {
+	i := sort.Search(len(o.elems), func(i int) bool { return o.elems[i] >= int32(v) })
+	if i >= len(o.elems) || o.elems[i] != int32(v) {
+		return false
+	}
+	o.elems = append(o.elems[:i], o.elems[i+1:]...)
+	return true
+}
+
+// UnionWith adds all elements of t; reports whether the set changed.
+func (o *Ordered) UnionWith(t *Ordered) bool {
+	changed := false
+	for _, v := range t.elems {
+		if o.Add(int(v)) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// ForEach calls f for each element in increasing order.
+func (o *Ordered) ForEach(f func(int)) {
+	for _, v := range o.elems {
+		f(int(v))
+	}
+}
+
+// Elems returns a copy of the elements in increasing order.
+func (o *Ordered) Elems() []int {
+	out := make([]int, len(o.elems))
+	for i, v := range o.elems {
+		out[i] = int(v)
+	}
+	return out
+}
+
+// Bytes returns the payload footprint: 4 bytes per stored element
+// (the paper's "evaluated (ordered sets)" counts the size of each set).
+func (o *Ordered) Bytes() int { return 4 * len(o.elems) }
+
+// CapBytes returns the allocated footprint including slack capacity.
+func (o *Ordered) CapBytes() int { return 4 * cap(o.elems) }

@@ -1,0 +1,339 @@
+// Package cfggen generates synthetic compilation workloads that stand in
+// for the paper's SPEC CINT2000 functions (compiled by the ST200 Open64
+// compiler and handed to a CLI JIT). The out-of-SSA algorithms only observe
+// CFG shape, SSA structure, live ranges, and copy affinities, so the
+// generator reproduces the properties that matter:
+//
+//   - structured, reducible control flow with nested loops, if/else chains,
+//     and bounded counting loops (some using the DSP branch-with-decrement);
+//   - mutation-heavy straight-line code so SSA construction creates φ webs;
+//   - aggressive copy propagation after construction, which extends live
+//     ranges across copies and makes the form non-conventional;
+//   - call-like sites with register-pinned variables, producing the
+//     renaming-constraint copies of Section III-D;
+//   - loop-depth-derived block frequencies serving as affinity weights.
+//
+// Generation is fully deterministic from the profile seed. Loops have small
+// constant trip counts so the interpreter-based equivalence tests terminate.
+package cfggen
+
+import (
+	"math/rand"
+
+	"repro/internal/dom"
+	"repro/internal/ir"
+	"repro/internal/ssa"
+)
+
+// debugHook, when set by tests, receives the textual pre-SSA form of each
+// generated function before construction.
+var debugHook func(string)
+
+// Profile describes one synthetic benchmark.
+type Profile struct {
+	Name  string
+	Seed  int64
+	Funcs int
+	// MinStmts/MaxStmts bound the statement budget of one function.
+	MinStmts, MaxStmts int
+	// MaxDepth bounds control-structure nesting.
+	MaxDepth int
+	// CallProb is the per-statement probability of a register-pinned
+	// call-like site; CopyProb of an explicit copy; MutateProb of assigning
+	// to an existing variable instead of a fresh one.
+	CallProb, CopyProb, MutateProb float64
+	// BrDecProb is the probability that a counting loop uses the
+	// branch-with-decrement terminator.
+	BrDecProb float64
+	// Propagate applies SSA copy propagation + dead code elimination after
+	// construction (breaking conventionality). PropagateFrac is the fraction
+	// of copy uses actually folded (1 = all); partial folding leaves
+	// same-value copies in place, as real optimizer output does.
+	Propagate     bool
+	PropagateFrac float64
+}
+
+// DefaultProfile returns a medium-sized profile.
+func DefaultProfile(name string, seed int64) Profile {
+	return Profile{
+		Name: name, Seed: seed, Funcs: 12,
+		MinStmts: 20, MaxStmts: 90, MaxDepth: 4,
+		CallProb: 0.06, CopyProb: 0.18, MutateProb: 0.45, BrDecProb: 0.15,
+		Propagate: true, PropagateFrac: 0.7,
+	}
+}
+
+// GenerateRaw builds the profile's functions *before* SSA construction:
+// structured control flow with multiple assignments per variable and no
+// φ-functions. Useful for inspecting the front-end shape and for driving
+// ssa.Construct explicitly.
+func GenerateRaw(p Profile) []*ir.Func {
+	rng := rand.New(rand.NewSource(p.Seed))
+	funcs := make([]*ir.Func, 0, p.Funcs)
+	for i := 0; i < p.Funcs; i++ {
+		g := &gen{p: p, rng: rand.New(rand.NewSource(rng.Int63()))}
+		funcs = append(funcs, g.function(i))
+	}
+	return funcs
+}
+
+// Generate builds the profile's functions in SSA form, copy-propagated when
+// the profile asks for it, with loop-based block frequencies installed.
+func Generate(p Profile) []*ir.Func {
+	rng := rand.New(rand.NewSource(p.Seed))
+	funcs := make([]*ir.Func, 0, p.Funcs)
+	for i := 0; i < p.Funcs; i++ {
+		g := &gen{
+			p:   p,
+			rng: rand.New(rand.NewSource(rng.Int63())),
+		}
+		f := g.function(i)
+		if debugHook != nil {
+			debugHook(f.String())
+		}
+		dt, _ := ssa.Construct(f)
+		if p.Propagate {
+			frac := p.PropagateFrac
+			if frac <= 0 {
+				frac = 1
+			}
+			prng := rand.New(rand.NewSource(rng.Int63()))
+			ssa.PropagateCopiesWhere(f, dt, func(ir.VarID) bool {
+				return prng.Float64() < frac
+			})
+			ssa.EliminateDeadCode(f)
+		}
+		ssa.SortPhisByDef(f)
+		installFrequencies(f, dt)
+		funcs = append(funcs, f)
+	}
+	return funcs
+}
+
+// installFrequencies sets each block's frequency to 10^loopdepth, the
+// classic static profile estimate the paper uses as coalescing weight.
+func installFrequencies(f *ir.Func, dt *dom.Tree) {
+	depth := dt.LoopDepth()
+	for _, b := range f.Blocks {
+		fr := 1.0
+		for i := 0; i < depth[b.ID] && i < 6; i++ {
+			fr *= 10
+		}
+		b.Freq = fr
+	}
+}
+
+type gen struct {
+	p      Profile
+	rng    *rand.Rand
+	bd     *ir.Builder
+	budget int
+	pinned int // distinct architectural registers minted
+	blkSeq int // unique block-name counter
+	varSeq int // unique variable-name counter
+}
+
+// varName mints a unique variable base name (SSA versioning appends ".k",
+// so distinct ir variables must not share names for textual round-trips).
+func (g *gen) varName(prefix string) string {
+	g.varSeq++
+	return prefix + itoa(g.varSeq)
+}
+
+// block mints a uniquely named block (textual round-trips need unique names).
+func (g *gen) block(prefix string) *ir.Block {
+	g.blkSeq++
+	return g.bd.Block(prefix + itoa(g.blkSeq))
+}
+
+// function builds one non-SSA function with mutation-heavy structured code.
+func (g *gen) function(idx int) *ir.Func {
+	g.bd = ir.NewBuilder(g.p.Name + "_f" + itoa(idx))
+	g.budget = g.p.MinStmts + g.rng.Intn(g.p.MaxStmts-g.p.MinStmts+1)
+
+	vars := []ir.VarID{
+		g.bd.Param(0),
+		g.bd.Param(1),
+		g.bd.Const(int64(g.rng.Intn(20) + 1)),
+		g.bd.Const(int64(g.rng.Intn(20) + 1)),
+	}
+	g.body(&vars, 0)
+	g.bd.Print(g.pick(vars))
+	g.bd.Ret(g.pick(vars))
+	return g.bd.F
+}
+
+// body emits statements into the current block until the budget share for
+// this nesting level runs out.
+func (g *gen) body(vars *[]ir.VarID, depth int) {
+	for g.budget > 0 {
+		g.budget--
+		r := g.rng.Float64()
+		switch {
+		case depth < g.p.MaxDepth && r < 0.10:
+			g.ifElse(vars, depth)
+		case depth < g.p.MaxDepth && r < 0.18:
+			g.loop(vars, depth)
+		case r < 0.18+g.p.CallProb:
+			g.callSite(vars)
+		case r < 0.18+g.p.CallProb+g.p.CopyProb:
+			g.copyStmt(vars)
+		case r < 0.30+g.p.CallProb+g.p.CopyProb:
+			g.bd.Print(g.pick(*vars))
+		default:
+			g.arith(vars)
+		case depth > 0 && r > 0.97:
+			return // leave the nest early sometimes
+		}
+	}
+}
+
+func (g *gen) pick(vars []ir.VarID) ir.VarID { return vars[g.rng.Intn(len(vars))] }
+
+var arithOps = []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpCmpLT, ir.OpCmpEQ}
+
+// arith emits a binary operation, either into a fresh variable or mutating
+// an existing one (which is what creates φ-functions later).
+func (g *gen) arith(vars *[]ir.VarID) {
+	op := arithOps[g.rng.Intn(len(arithOps))]
+	a, b := g.pick(*vars), g.pick(*vars)
+	if g.rng.Float64() < g.p.MutateProb {
+		dst := g.pick(*vars)
+		g.bd.Cur.Instrs = append(g.bd.Cur.Instrs,
+			&ir.Instr{Op: op, Defs: []ir.VarID{dst}, Uses: []ir.VarID{a, b}})
+		return
+	}
+	*vars = append(*vars, g.bd.Arith(op, a, b))
+}
+
+// copyStmt emits an explicit copy, into a fresh or an existing variable.
+func (g *gen) copyStmt(vars *[]ir.VarID) {
+	src := g.pick(*vars)
+	if g.rng.Float64() < g.p.MutateProb {
+		dst := g.pick(*vars)
+		if dst != src {
+			g.bd.CopyTo(dst, src)
+		}
+		return
+	}
+	*vars = append(*vars, g.bd.Copy(src))
+}
+
+// callSite emits a call-like sequence with calling-convention pinning: the
+// argument is copied into a register-pinned variable whose live range spans
+// only the site, and the result is read out of another pinned variable.
+// Reusing the same ir-level variable across sites gives all its SSA
+// versions the same register, which precoalescing later merges.
+func (g *gen) callSite(vars *[]ir.VarID) {
+	reg := "R" + itoa(g.rng.Intn(2)) // few registers → real constraint pressure
+	f := g.bd.F
+	arg := f.NewPinnedVar(g.varName("arg"+reg+"_"), reg)
+	g.bd.CopyTo(arg, g.pick(*vars))
+	// The "call" computes into the pinned variable itself.
+	res := f.NewPinnedVar(g.varName("ret"+reg+"_"), reg)
+	g.bd.Cur.Instrs = append(g.bd.Cur.Instrs,
+		&ir.Instr{Op: ir.OpAdd, Defs: []ir.VarID{res}, Uses: []ir.VarID{arg, arg}})
+	out := g.bd.Copy(res)
+	*vars = append(*vars, out)
+	g.pinned++
+}
+
+// ifElse emits a two-armed conditional; both arms may mutate outer
+// variables, creating join φs.
+func (g *gen) ifElse(vars *[]ir.VarID, depth int) {
+	cond := g.bd.Arith(ir.OpCmpLT, g.pick(*vars), g.pick(*vars))
+	then := g.block("t")
+	els := g.block("e")
+	join := g.block("j")
+	g.bd.Branch(cond, then, els)
+
+	g.bd.SetBlock(then)
+	thenVars := append([]ir.VarID(nil), *vars...)
+	g.consume(depth, &thenVars)
+	g.bd.Jump(join)
+
+	g.bd.SetBlock(els)
+	elseVars := append([]ir.VarID(nil), *vars...)
+	if g.rng.Float64() < 0.7 {
+		g.consume(depth, &elseVars)
+	}
+	g.bd.Jump(join)
+
+	g.bd.SetBlock(join)
+}
+
+// loop emits a bounded counting loop; the counter mutates a fresh variable,
+// the body mutates outer ones. Some loops use the branch-with-decrement
+// terminator, exercising the Figure 2 machinery.
+func (g *gen) loop(vars *[]ir.VarID, depth int) {
+	f := g.bd.F
+	n := f.NewVar(g.varName("n"))
+	g.bd.Cur.Instrs = append(g.bd.Cur.Instrs,
+		&ir.Instr{Op: ir.OpConst, Defs: []ir.VarID{n}, Aux: int64(2 + g.rng.Intn(4))})
+	header := g.block("h")
+	exit := g.block("x")
+	g.bd.Jump(header)
+
+	g.bd.SetBlock(header)
+	bodyVars := append([]ir.VarID(nil), *vars...)
+	g.consume(depth, &bodyVars)
+	if g.rng.Float64() < g.p.BrDecProb {
+		// n = brdec n: decrement and branch in one terminator; the def is
+		// the same ir-level variable, so SSA renaming makes the φ argument
+		// the terminator-defined version (Figure 2).
+		g.bd.Cur.Instrs = append(g.bd.Cur.Instrs,
+			&ir.Instr{Op: ir.OpBrDec, Defs: []ir.VarID{n}, Uses: []ir.VarID{n}})
+		ir.AddEdge(g.bd.Cur, header)
+		ir.AddEdge(g.bd.Cur, exit)
+	} else {
+		one := g.bd.Const(1)
+		g.bd.Cur.Instrs = append(g.bd.Cur.Instrs,
+			&ir.Instr{Op: ir.OpSub, Defs: []ir.VarID{n}, Uses: []ir.VarID{n, one}})
+		zero := g.bd.Const(0)
+		cond := g.bd.Arith(ir.OpCmpLT, zero, n)
+		g.bd.Branch(cond, header, exit)
+	}
+	g.bd.SetBlock(exit)
+}
+
+// consume runs a nested body with a bounded share of the budget.
+func (g *gen) consume(depth int, vars *[]ir.VarID) {
+	save := g.budget
+	share := 1 + g.rng.Intn(maxInt(save/3, 1))
+	g.budget = minInt(share, save)
+	used := g.budget
+	g.body(vars, depth+1)
+	used -= g.budget
+	g.budget = save - used - 1
+	if g.budget < 0 {
+		g.budget = 0
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,29 @@
+package cfggen
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestGenerateDoesNotPanic pins down generator bugs early with a readable
+// dump of the offending pre-SSA function.
+func TestGenerateDoesNotPanic(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := DefaultProfile("dbg", seed)
+		p.Funcs = 8
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("seed %d: %v\n%s", seed, r, lastDump)
+				}
+			}()
+			Generate(p)
+		}()
+	}
+}
+
+var lastDump string
+
+func init() { debugHook = func(s string) { lastDump = s } }
+
+var _ = fmt.Sprintf

@@ -1,0 +1,111 @@
+package coalesce
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/sreedhar"
+)
+
+// RunOptimistic implements the coalescing scheme of Budimlić et al. that
+// the paper's conclusion singles out as "orthogonal to and compatible with"
+// its techniques: optimistically merge every copy-related pair that passes
+// a rough, cheap filter (only the pair itself is tested), then walk the
+// resulting tentative groups and de-coalesce the classes that turn out to
+// interfere with what has been kept.
+//
+// φ-node classes are atomic — their members implement a φ-function and can
+// never be separated — so the optimistic grouping and the de-coalescing
+// both operate on whole congruence classes. Interference uses the paper's
+// value-based definition throughout.
+func RunOptimistic(m *Machinery, affs []sreedhar.Affinity) *Result {
+	// The linear class test's equal-ancestor bookkeeping assumes a strict
+	// check-then-merge discipline; de-coalescing checks one class against
+	// many kept classes before merging, so quadratic tests are used here
+	// regardless of the machinery's Linear flag.
+	if m.Linear {
+		mq := *m
+		mq.Linear = false
+		m = &mq
+	}
+	res := &Result{Statuses: make([]Status, len(affs))}
+
+	// Phase 1: optimistic grouping of class representatives. The cheap
+	// filter tests only the copy pair itself (plus register labels).
+	group := map[ir.VarID]ir.VarID{}
+	var find func(x ir.VarID) ir.VarID
+	find = func(x ir.VarID) ir.VarID {
+		r, ok := group[x]
+		if !ok || r == x {
+			group[x] = x
+			return x
+		}
+		root := find(r)
+		group[x] = root
+		return root
+	}
+	weightOf := map[ir.VarID]float64{}
+	for _, a := range affs {
+		ra, rb := m.Classes.Find(a.Dst), m.Classes.Find(a.Src)
+		weightOf[find(ra)] += a.Weight
+		weightOf[find(rb)] += a.Weight
+		if ra == rb {
+			continue
+		}
+		if la, lb := m.Classes.Reg(a.Dst), m.Classes.Reg(a.Src); la != "" && lb != "" && la != lb {
+			continue
+		}
+		if m.Chk.Interferes(a.Dst, a.Src) {
+			continue // rough filter: the pair itself interferes
+		}
+		group[find(ra)] = find(rb)
+	}
+
+	// Collect the tentative groups.
+	members := map[ir.VarID][]ir.VarID{}
+	for x := range group {
+		members[find(x)] = append(members[find(x)], x)
+	}
+
+	// Phase 2: de-coalesce. Within each group, keep classes greedily by
+	// decreasing attached copy weight; a class interfering with the kept
+	// set is ejected and stays separate.
+	for _, grp := range members {
+		if len(grp) < 2 {
+			continue
+		}
+		sort.SliceStable(grp, func(i, j int) bool {
+			wi, wj := weightOf[grp[i]], weightOf[grp[j]]
+			if wi != wj {
+				return wi > wj
+			}
+			return grp[i] < grp[j]
+		})
+		kept := grp[:1]
+		for _, cls := range grp[1:] {
+			ok := true
+			for _, k := range kept {
+				if ClassesInterfere(m, Value, cls, k, ir.NoVar, ir.NoVar) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				continue // de-coalesced: the class leaves the group
+			}
+			kept = append(kept, cls)
+		}
+		for _, k := range kept[1:] {
+			m.Classes.MergeSimple(kept[0], k)
+		}
+	}
+
+	// Statuses follow from the final classes.
+	for i, a := range affs {
+		if m.Classes.SameClass(a.Dst, a.Src) {
+			res.Statuses[i] = Coalesced
+		}
+	}
+	res.tally(affs)
+	return res
+}

@@ -1,0 +1,71 @@
+package coalesce
+
+import (
+	"sort"
+
+	"repro/internal/ir"
+	"repro/internal/sreedhar"
+)
+
+// Share runs the paper's copy-sharing post-pass (Sections III-B and III-E,
+// variant "Sharing") over the affinities that survived coalescing. For a
+// remaining copy a ↦ b, if some variable c with V(c) = V(a) is live just
+// after the copy, then c already carries the value b needs:
+//
+//  1. if class(c) == class(b) ≠ class(a), the copy is redundant outright;
+//  2. if class(a), class(b), class(c) are pairwise different and class(b)
+//     can be coalesced with class(c) under the Value rule, coalescing them
+//     makes the copy redundant.
+//
+// Share updates res in place and returns the number of copies it removed.
+func Share(m *Machinery, affs []sreedhar.Affinity, res *Result) int {
+	// Index variables by SSA value so candidates are found in O(|class|).
+	valueMembers := map[ir.VarID][]ir.VarID{}
+	for v := range m.Chk.F.Vars {
+		vid := ir.VarID(v)
+		if m.Chk.DU.HasDef(vid) {
+			valueMembers[m.Chk.Value(vid)] = append(valueMembers[m.Chk.Value(vid)], vid)
+		}
+	}
+
+	// Heaviest copies first: sharing opportunities consumed by cheap copies
+	// should not block expensive ones.
+	order := make([]int, 0, len(affs))
+	for i, s := range res.Statuses {
+		if s == Remaining {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return affs[order[x]].Weight > affs[order[y]].Weight
+	})
+
+	removed := 0
+	for _, i := range order {
+		a := affs[i]
+		src, dst := a.Src, a.Dst
+		for _, c := range valueMembers[m.Chk.Value(src)] {
+			if c == src || c == dst {
+				continue
+			}
+			if !m.Chk.LiveAfter(c, a.Block, a.Slot) {
+				continue
+			}
+			x, y, z := m.Classes.Find(src), m.Classes.Find(dst), m.Classes.Find(c)
+			if z == y && y != x {
+				res.Statuses[i] = SharedRemoved
+				removed++
+				break
+			}
+			if x != y && y != z && x != z &&
+				!ClassesInterfere(m, Value, dst, c, ir.NoVar, ir.NoVar) {
+				merge(m, Value, dst, c)
+				res.Statuses[i] = SharedRemoved
+				removed++
+				break
+			}
+		}
+	}
+	res.tally(affs)
+	return removed
+}

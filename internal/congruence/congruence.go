@@ -1,0 +1,129 @@
+// Package congruence maintains congruence classes — sets of variables that
+// have been coalesced together — and implements the paper's third main
+// contribution (Section IV-B): an interference test between two classes
+// that performs only a *linear* number of variable-to-variable intersection
+// tests, generalizing the dominance forests of Budimlić et al. without ever
+// building the forest, and extended to the value-based interference
+// definition via "equal intersecting ancestor" chains.
+//
+// Each class is kept as a list of variables sorted by the pre-DFS order of
+// their definition points in the dominator tree. A simulated stack
+// traversal of the implicit dominance forest visits the merged lists in
+// order; a variable can only intersect an already-visited one if it
+// intersects its nearest dominating ancestor or, with value equality in
+// play, one of that ancestor's equal-intersecting-ancestor chain.
+package congruence
+
+import (
+	"repro/internal/interference"
+	"repro/internal/ir"
+)
+
+// Classes is a union-find of variables with per-class ordered member lists.
+type Classes struct {
+	chk    *interference.Checker
+	parent []ir.VarID
+	size   []int32
+	lists  map[ir.VarID][]ir.VarID // root → members in pre-DFS def order; absent for singletons
+	reg    map[ir.VarID]string     // root → pinned register label
+
+	// equalAncIn[v] is the nearest dominating ancestor of v *within v's
+	// class* that has the same value and intersects v (paper, Section
+	// IV-B); NoVar when none.
+	equalAncIn []ir.VarID
+
+	// Scratch for the linear check, consumed by Merge.
+	equalAncOut []ir.VarID
+	outEpoch    []uint32
+	epoch       uint32
+
+	// Tests counts variable-to-variable intersection tests issued by the
+	// class-level checks (quadratic vs linear instrumentation).
+	Tests int
+}
+
+// New returns singleton classes over the variable universe of chk.
+func New(chk *interference.Checker) *Classes {
+	n := len(chk.F.Vars)
+	c := &Classes{
+		chk:         chk,
+		parent:      make([]ir.VarID, n),
+		size:        make([]int32, n),
+		lists:       map[ir.VarID][]ir.VarID{},
+		reg:         map[ir.VarID]string{},
+		equalAncIn:  make([]ir.VarID, n),
+		equalAncOut: make([]ir.VarID, n),
+		outEpoch:    make([]uint32, n),
+	}
+	for i := range c.parent {
+		c.parent[i] = ir.VarID(i)
+		c.size[i] = 1
+		c.equalAncIn[i] = ir.NoVar
+		c.equalAncOut[i] = ir.NoVar
+	}
+	for i, v := range chk.F.Vars {
+		if v.Reg != "" {
+			c.reg[ir.VarID(i)] = v.Reg
+		}
+	}
+	return c
+}
+
+// grow extends the universe when virtualization materializes variables.
+func (c *Classes) grow() {
+	for len(c.parent) < len(c.chk.F.Vars) {
+		v := ir.VarID(len(c.parent))
+		c.parent = append(c.parent, v)
+		c.size = append(c.size, 1)
+		c.equalAncIn = append(c.equalAncIn, ir.NoVar)
+		c.equalAncOut = append(c.equalAncOut, ir.NoVar)
+		c.outEpoch = append(c.outEpoch, 0)
+		if r := c.chk.F.Vars[v].Reg; r != "" {
+			c.reg[v] = r
+		}
+	}
+}
+
+// Find returns the representative of v's class.
+func (c *Classes) Find(v ir.VarID) ir.VarID {
+	if int(v) >= len(c.parent) {
+		c.grow()
+	}
+	root := v
+	for c.parent[root] != root {
+		root = c.parent[root]
+	}
+	for c.parent[v] != root {
+		c.parent[v], v = root, c.parent[v]
+	}
+	return root
+}
+
+// SameClass reports whether a and b are already coalesced.
+func (c *Classes) SameClass(a, b ir.VarID) bool { return c.Find(a) == c.Find(b) }
+
+// Members returns the class of v in pre-DFS definition order. The slice
+// must not be mutated.
+func (c *Classes) Members(v ir.VarID) []ir.VarID {
+	root := c.Find(v)
+	if l, ok := c.lists[root]; ok {
+		return l
+	}
+	return []ir.VarID{root}
+}
+
+// Reg returns the architectural register the class of v is pinned to, or "".
+func (c *Classes) Reg(v ir.VarID) string { return c.reg[c.Find(v)] }
+
+// less orders variables by pre-DFS order of definition points, breaking
+// ties (φs of one block, components of one parallel copy) by variable ID.
+func (c *Classes) less(a, b ir.VarID) bool {
+	if d := c.chk.DefOrder(a, b); d != 0 {
+		return d < 0
+	}
+	return a < b
+}
+
+// EqualAncIn exposes the per-variable equal-intersecting-ancestor within
+// its class (testing hook).
+func (c *Classes) EqualAncIn(v ir.VarID) ir.VarID { return c.equalAncIn[v] }

@@ -1,0 +1,309 @@
+package congruence_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/congruence"
+	"repro/internal/dom"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+	"repro/internal/sreedhar"
+	"repro/internal/ssa"
+)
+
+func newChecker(f *ir.Func, useLiveCheck bool) *interference.Checker {
+	dt := dom.Build(f)
+	du := ir.NewDefUse(f)
+	var live interference.BlockLiveness
+	if useLiveCheck {
+		live = livecheck.New(f, dt, du)
+	} else {
+		live = liveness.Compute(f)
+	}
+	return &interference.Checker{F: f, DT: dt, DU: du, Live: live, Vals: ssa.Values(f, dt)}
+}
+
+// quadValue is the reference: any cross pair interfering under the
+// value-based definition.
+func quadValue(chk *interference.Checker, xs, ys []ir.VarID) bool {
+	for _, x := range xs {
+		for _, y := range ys {
+			if chk.Interferes(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func quadIntersect(chk *interference.Checker, xs, ys []ir.VarID) bool {
+	for _, x := range xs {
+		for _, y := range ys {
+			if x != y && chk.Intersect(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TestLinearMatchesQuadraticThroughMerges replays a realistic coalescing
+// run: Method I copies inserted, φ-nodes pre-merged, then affinities
+// processed in random order. Before every merge the linear and quadratic
+// answers must agree; merges use the linear bookkeeping so the
+// equal-intersecting-ancestor chains are exercised across a long mutation
+// sequence.
+func TestLinearMatchesQuadraticThroughMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for seed := int64(0); seed < 5; seed++ {
+		p := cfggen.DefaultProfile("cong", 200+seed)
+		p.Funcs = 4
+		for _, f := range cfggen.Generate(p) {
+			sreedhar.SplitDuplicatePredEdges(f)
+			sreedhar.SplitBranchDefEdges(f)
+			ins, err := sreedhar.InsertCopies(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chk := newChecker(f, seed%2 == 0)
+			classes := congruence.New(chk)
+			for _, node := range ins.PhiNodes {
+				for i := 1; i < len(node); i++ {
+					classes.MergeForced(node[0], node[i])
+				}
+			}
+			affs := append([]sreedhar.Affinity(nil), ins.Affinities...)
+			rng.Shuffle(len(affs), func(i, j int) { affs[i], affs[j] = affs[j], affs[i] })
+			for _, a := range affs {
+				if classes.SameClass(a.Dst, a.Src) {
+					continue
+				}
+				want := quadValue(chk, classes.Members(a.Dst), classes.Members(a.Src))
+				got := classes.InterferesLinear(a.Dst, a.Src)
+				if got != want {
+					t.Fatalf("%s: linear=%v quadratic=%v for classes of %s and %s\nX=%v\nY=%v\n%s",
+						f.Name, got, want, f.VarName(a.Dst), f.VarName(a.Src),
+						names(f, classes.Members(a.Dst)), names(f, classes.Members(a.Src)), f)
+				}
+				if !got {
+					classes.Merge(a.Dst, a.Src)
+				}
+			}
+		}
+	}
+}
+
+// TestLinearPureMatchesQuadratic does the same for the pure-intersection
+// form of Algorithm 2.
+func TestLinearPureMatchesQuadratic(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	p := cfggen.DefaultProfile("congpure", 300)
+	p.Funcs = 6
+	for _, f := range cfggen.Generate(p) {
+		sreedhar.SplitDuplicatePredEdges(f)
+		sreedhar.SplitBranchDefEdges(f)
+		ins, err := sreedhar.InsertCopies(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := newChecker(f, false)
+		classes := congruence.New(chk)
+		for _, node := range ins.PhiNodes {
+			for i := 1; i < len(node); i++ {
+				classes.MergeForced(node[0], node[i])
+			}
+		}
+		affs := append([]sreedhar.Affinity(nil), ins.Affinities...)
+		rng.Shuffle(len(affs), func(i, j int) { affs[i], affs[j] = affs[j], affs[i] })
+		for _, a := range affs {
+			if classes.SameClass(a.Dst, a.Src) {
+				continue
+			}
+			want := quadIntersect(chk, classes.Members(a.Dst), classes.Members(a.Src))
+			got := classes.InterferesLinearPure(a.Dst, a.Src)
+			if got != want {
+				t.Fatalf("%s: linear-pure=%v quadratic=%v (%v vs %v)\n%s",
+					f.Name, got, want, names(f, classes.Members(a.Dst)),
+					names(f, classes.Members(a.Src)), f)
+			}
+			if !got {
+				classes.MergeSimple(a.Dst, a.Src)
+			}
+		}
+	}
+}
+
+func names(f *ir.Func, vs []ir.VarID) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = f.VarName(v)
+	}
+	return out
+}
+
+func TestMembersStaySorted(t *testing.T) {
+	p := cfggen.DefaultProfile("sorted", 400)
+	p.Funcs = 3
+	for _, f := range cfggen.Generate(p) {
+		sreedhar.SplitDuplicatePredEdges(f)
+		sreedhar.SplitBranchDefEdges(f)
+		ins, err := sreedhar.InsertCopies(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := newChecker(f, false)
+		classes := congruence.New(chk)
+		for _, node := range ins.PhiNodes {
+			for i := 1; i < len(node); i++ {
+				classes.MergeForced(node[0], node[i])
+			}
+		}
+		for _, a := range ins.Affinities {
+			if !classes.SameClass(a.Dst, a.Src) && !classes.InterferesLinear(a.Dst, a.Src) {
+				classes.Merge(a.Dst, a.Src)
+			}
+		}
+		seen := map[ir.VarID]bool{}
+		for v := range f.Vars {
+			root := classes.Find(ir.VarID(v))
+			if seen[root] {
+				continue
+			}
+			seen[root] = true
+			ms := classes.Members(root)
+			for i := 1; i < len(ms); i++ {
+				if d := chk.DefOrder(ms[i-1], ms[i]); d > 0 {
+					t.Fatalf("%s: class of %s not in pre-DFS order", f.Name, f.VarName(root))
+				}
+			}
+		}
+	}
+}
+
+func TestUnionFindBasics(t *testing.T) {
+	f := ir.MustParse(`
+func u {
+entry:
+  a = param 0
+  b = copy a
+  c = copy a
+  d = copy a
+  print b
+  print c
+  print d
+  ret a
+}
+`)
+	chk := newChecker(f, false)
+	classes := congruence.New(chk)
+	a, b, c := ir.VarID(0), ir.VarID(1), ir.VarID(2)
+	if classes.SameClass(a, b) {
+		t.Fatal("fresh classes are singletons")
+	}
+	classes.MergeForced(a, b)
+	classes.MergeForced(b, c)
+	if !classes.SameClass(a, c) {
+		t.Fatal("transitivity")
+	}
+	if len(classes.Members(a)) != 3 {
+		t.Fatalf("members = %v", names(f, classes.Members(a)))
+	}
+}
+
+func TestRegisterLabelsPropagate(t *testing.T) {
+	f := ir.NewFunc("r")
+	b := f.NewBlock("entry")
+	x := f.NewPinnedVar("x", "R0")
+	y := f.NewVar("y")
+	z := f.NewPinnedVar("z", "R1")
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpConst, Defs: []ir.VarID{x}, Aux: 1},
+		{Op: ir.OpCopy, Defs: []ir.VarID{y}, Uses: []ir.VarID{x}},
+		{Op: ir.OpConst, Defs: []ir.VarID{z}, Aux: 2},
+		{Op: ir.OpPrint, Uses: []ir.VarID{z}},
+		{Op: ir.OpRet, Uses: []ir.VarID{y}},
+	}
+	chk := newChecker(f, false)
+	classes := congruence.New(chk)
+	if classes.Reg(x) != "R0" || classes.Reg(z) != "R1" || classes.Reg(y) != "" {
+		t.Fatal("initial labels wrong")
+	}
+	classes.MergeForced(y, x)
+	if classes.Reg(y) != "R0" {
+		t.Fatal("label must survive the merge")
+	}
+}
+
+// TestEqualAncInvariant: after a sequence of checked merges, equalAncIn(v)
+// must be exactly the nearest dominating ancestor of v within its class
+// that has the same value and intersects v — verified against brute force.
+func TestEqualAncInvariant(t *testing.T) {
+	p := cfggen.DefaultProfile("eqanc", 800)
+	p.Funcs = 4
+	for _, f := range cfggen.Generate(p) {
+		sreedhar.SplitDuplicatePredEdges(f)
+		sreedhar.SplitBranchDefEdges(f)
+		ins, err := sreedhar.InsertCopies(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		chk := newChecker(f, false)
+		classes := congruence.New(chk)
+		for _, node := range ins.PhiNodes {
+			for i := 1; i < len(node); i++ {
+				classes.MergeForced(node[0], node[i])
+			}
+		}
+		for _, a := range ins.Affinities {
+			if !classes.SameClass(a.Dst, a.Src) && !classes.InterferesLinear(a.Dst, a.Src) {
+				classes.Merge(a.Dst, a.Src)
+			}
+		}
+		seen := map[ir.VarID]bool{}
+		for v := range f.Vars {
+			root := classes.Find(ir.VarID(v))
+			if seen[root] {
+				continue
+			}
+			seen[root] = true
+			members := classes.Members(root)
+			for _, m := range members {
+				want := bruteEqualAnc(chk, members, m)
+				if got := classes.EqualAncIn(m); got != want {
+					t.Fatalf("%s: equalAncIn(%s) = %v, want %v (class %v)",
+						f.Name, f.VarName(m), name(f, got), name(f, want), names(f, members))
+				}
+			}
+		}
+	}
+}
+
+func bruteEqualAnc(chk *interference.Checker, members []ir.VarID, v ir.VarID) ir.VarID {
+	best := ir.NoVar
+	for _, m := range members {
+		if m == v || !chk.DefDominates(m, v) || chk.DefOrder(m, v) == 0 && m > v {
+			continue
+		}
+		if chk.DefOrder(m, v) == 0 {
+			continue // same definition point: not an ancestor in the forest
+		}
+		if chk.Value(m) != chk.Value(v) || !chk.Intersect(m, v) {
+			continue
+		}
+		if best == ir.NoVar || chk.DefDominates(best, m) {
+			best = m // m is nearer (dominated by the previous best)
+		}
+	}
+	return best
+}
+
+func name(f *ir.Func, v ir.VarID) string {
+	if v == ir.NoVar {
+		return "-"
+	}
+	return f.VarName(v)
+}

@@ -1,0 +1,210 @@
+package congruence
+
+import "repro/internal/ir"
+
+// Pred is a variable-to-variable interference predicate used by the
+// quadratic class test; x and y always belong to different classes.
+type Pred func(x, y ir.VarID) bool
+
+// InterferesQuadratic tests interference between the classes of a and b by
+// testing every cross pair, the baseline the paper's "Linear" option
+// replaces. exemptA/exemptB, when valid, skip the single pair
+// (exemptA, exemptB) — Sreedhar's SSA-based coalescing rule, which omits
+// the copy-related pair itself.
+func (c *Classes) InterferesQuadratic(a, b ir.VarID, pred Pred, exemptA, exemptB ir.VarID) bool {
+	if c.SameClass(a, b) {
+		return false
+	}
+	for _, x := range c.Members(a) {
+		for _, y := range c.Members(b) {
+			if x == exemptA && y == exemptB || x == exemptB && y == exemptA {
+				continue
+			}
+			c.Tests++
+			if pred(x, y) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// InterferesLinear tests interference between the classes of a and b with
+// the paper's merged dominance-forest traversal: a linear number of
+// intersection tests in the total size of the two classes. When the checker
+// carries value information the value-based definition is used, with
+// equal-intersecting-ancestor chains; otherwise it degrades to the pure
+// intersection test of Algorithm 2.
+//
+// A successful (non-interfering) call leaves the equal_anc_out scratch
+// valid; Merge must be the next class operation to consume it, as in the
+// paper's coalescing loop.
+func (c *Classes) InterferesLinear(a, b ir.VarID) bool {
+	ra, rb := c.Find(a), c.Find(b)
+	if ra == rb {
+		return false
+	}
+	c.epoch++
+	red, blue := c.Members(ra), c.Members(rb)
+
+	type entry struct {
+		v   ir.VarID
+		red bool
+	}
+	var dom []entry
+	nr, nb := 0, 0 // stack entries from red / blue
+	ri, bi := 0, 0
+
+	for (ri < len(red) && nb > 0) || (bi < len(blue) && nr > 0) ||
+		(ri < len(red) && bi < len(blue)) {
+		var cur ir.VarID
+		var curRed bool
+		if bi == len(blue) || (ri < len(red) && c.less(red[ri], blue[bi])) {
+			cur, curRed = red[ri], true
+			ri++
+		} else {
+			cur, curRed = blue[bi], false
+			bi++
+		}
+		// Pop entries that do not dominate cur: by pre-DFS order they can
+		// never dominate a later variable either.
+		for len(dom) > 0 && !c.chk.DefDominates(dom[len(dom)-1].v, cur) {
+			if dom[len(dom)-1].red {
+				nr--
+			} else {
+				nb--
+			}
+			dom = dom[:len(dom)-1]
+		}
+		var parent ir.VarID = ir.NoVar
+		parentRed := false
+		if len(dom) > 0 {
+			parent, parentRed = dom[len(dom)-1].v, dom[len(dom)-1].red
+		}
+		if c.interference(cur, curRed, parent, parentRed) {
+			return true
+		}
+		dom = append(dom, entry{cur, curRed})
+		if curRed {
+			nr++
+		} else {
+			nb++
+		}
+	}
+	return false
+}
+
+// InterferesLinearPure is Algorithm 2's two-set form with the *pure
+// intersection* definition (no value information): since both classes are
+// intersection-free and all cross pairs visited so far tested clean, a new
+// intersection can only appear between the current variable and its
+// dominance-forest parent when the two belong to different classes.
+func (c *Classes) InterferesLinearPure(a, b ir.VarID) bool {
+	ra, rb := c.Find(a), c.Find(b)
+	if ra == rb {
+		return false
+	}
+	red, blue := c.Members(ra), c.Members(rb)
+	type entry struct {
+		v   ir.VarID
+		red bool
+	}
+	var dom []entry
+	nr, nb := 0, 0
+	ri, bi := 0, 0
+	for (ri < len(red) && nb > 0) || (bi < len(blue) && nr > 0) ||
+		(ri < len(red) && bi < len(blue)) {
+		var cur ir.VarID
+		var curRed bool
+		if bi == len(blue) || (ri < len(red) && c.less(red[ri], blue[bi])) {
+			cur, curRed = red[ri], true
+			ri++
+		} else {
+			cur, curRed = blue[bi], false
+			bi++
+		}
+		for len(dom) > 0 && !c.chk.DefDominates(dom[len(dom)-1].v, cur) {
+			if dom[len(dom)-1].red {
+				nr--
+			} else {
+				nb--
+			}
+			dom = dom[:len(dom)-1]
+		}
+		if len(dom) > 0 && dom[len(dom)-1].red != curRed {
+			c.Tests++
+			if c.chk.Intersect(dom[len(dom)-1].v, cur) {
+				return true
+			}
+		}
+		dom = append(dom, entry{cur, curRed})
+		if curRed {
+			nr++
+		} else {
+			nb++
+		}
+	}
+	return false
+}
+
+// interference is the paper's Function interference: cur's parent in the
+// merged dominance forest is parent (possibly NoVar). It reports whether
+// cur interferes with any already-visited variable of the other class, and
+// updates cur's equal-intersecting-ancestor in the other class.
+func (c *Classes) interference(cur ir.VarID, curRed bool, parent ir.VarID, parentRed bool) bool {
+	c.setOut(cur, ir.NoVar)
+	if parent == ir.NoVar {
+		return false
+	}
+	b := parent
+	if parentRed == curRed {
+		b = c.getOut(parent) // switch to the parent's chain in the other class
+	}
+	if b == ir.NoVar {
+		return false
+	}
+	if c.chk.Value(cur) != c.chk.Value(b) {
+		return c.chainIntersect(cur, b)
+	}
+	c.updateEqualAncOut(cur, b)
+	return false
+}
+
+// chainIntersect reports whether a intersects b or one of b's
+// equal-intersecting ancestors within b's own class.
+func (c *Classes) chainIntersect(a, b ir.VarID) bool {
+	for tmp := b; tmp != ir.NoVar; tmp = c.equalAncIn[tmp] {
+		c.Tests++
+		if c.chk.Intersect(a, tmp) {
+			return true
+		}
+	}
+	return false
+}
+
+// updateEqualAncOut walks b's equal-intersecting-ancestor chain (same value
+// as a, other class) to the nearest member intersecting a, recording it as
+// a's equal-intersecting ancestor in the other class.
+func (c *Classes) updateEqualAncOut(a, b ir.VarID) {
+	tmp := b
+	for tmp != ir.NoVar {
+		c.Tests++
+		if c.chk.Intersect(a, tmp) {
+			break
+		}
+		tmp = c.equalAncIn[tmp]
+	}
+	c.setOut(a, tmp)
+}
+
+func (c *Classes) setOut(v, anc ir.VarID) {
+	c.equalAncOut[v] = anc
+	c.outEpoch[v] = c.epoch
+}
+
+func (c *Classes) getOut(v ir.VarID) ir.VarID {
+	if c.outEpoch[v] != c.epoch {
+		return ir.NoVar // not visited during the current check
+	}
+	return c.equalAncOut[v]
+}

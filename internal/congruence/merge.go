@@ -1,0 +1,118 @@
+package congruence
+
+import "repro/internal/ir"
+
+// Merge coalesces the classes of a and b. It must be called right after an
+// InterferesLinear(a, b) call that returned false: the equal-intersecting-
+// ancestor information computed during that check is folded into the merged
+// class (paper: "the equal intersecting ancestor for the combined set is
+// updated to the maximum, following the pre-DFS order, of equal_anc_in and
+// equal_anc_out").
+func (c *Classes) Merge(a, b ir.VarID) ir.VarID {
+	ra, rb := c.Find(a), c.Find(b)
+	if ra == rb {
+		return ra
+	}
+	merged := c.mergeLists(c.Members(ra), c.Members(rb))
+	for _, v := range merged {
+		c.equalAncIn[v] = c.maxPre(c.equalAncIn[v], c.getOut(v))
+	}
+	return c.link(ra, rb, merged)
+}
+
+// MergeForced coalesces two classes unconditionally — used for the φ-node
+// classes of Method I (whose members are coalesced by construction) and for
+// pre-coalescing variables pinned to the same register. The equal-
+// intersecting-ancestor chains of the merged class are recomputed with one
+// stack traversal.
+func (c *Classes) MergeForced(a, b ir.VarID) ir.VarID {
+	ra, rb := c.Find(a), c.Find(b)
+	if ra == rb {
+		return ra
+	}
+	merged := c.mergeLists(c.Members(ra), c.Members(rb))
+	c.recomputeEqualAnc(merged)
+	return c.link(ra, rb, merged)
+}
+
+// MergeSimple coalesces two classes without maintaining the equal-
+// intersecting-ancestor chains. It is the merge used by the quadratic
+// machinery variants, which never consult the chains.
+func (c *Classes) MergeSimple(a, b ir.VarID) ir.VarID {
+	ra, rb := c.Find(a), c.Find(b)
+	if ra == rb {
+		return ra
+	}
+	return c.link(ra, rb, c.mergeLists(c.Members(ra), c.Members(rb)))
+}
+
+// link performs the union-find merge of roots ra and rb with the merged
+// member list, propagating register labels.
+func (c *Classes) link(ra, rb ir.VarID, merged []ir.VarID) ir.VarID {
+	if c.size[ra] < c.size[rb] {
+		ra, rb = rb, ra
+	}
+	c.parent[rb] = ra
+	c.size[ra] += c.size[rb]
+	c.lists[ra] = merged
+	delete(c.lists, rb)
+	if r, ok := c.reg[rb]; ok {
+		c.reg[ra] = r
+		delete(c.reg, rb)
+	}
+	return ra
+}
+
+// mergeLists merges two pre-DFS-ordered member lists in linear time.
+func (c *Classes) mergeLists(x, y []ir.VarID) []ir.VarID {
+	out := make([]ir.VarID, 0, len(x)+len(y))
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if c.less(x[i], y[j]) {
+			out = append(out, x[i])
+			i++
+		} else {
+			out = append(out, y[j])
+			j++
+		}
+	}
+	out = append(out, x[i:]...)
+	out = append(out, y[j:]...)
+	return out
+}
+
+// maxPre returns the nearer of two dominating ancestors: the one whose
+// definition point comes later in pre-DFS order. NoVar loses to anything.
+func (c *Classes) maxPre(x, y ir.VarID) ir.VarID {
+	switch {
+	case x == ir.NoVar:
+		return y
+	case y == ir.NoVar:
+		return x
+	case c.less(x, y):
+		return y
+	default:
+		return x
+	}
+}
+
+// recomputeEqualAnc rebuilds equalAncIn for a class given as a pre-DFS
+// ordered list, by simulating the dominance-forest traversal and scanning
+// the ancestor stack for the nearest same-value intersecting member.
+func (c *Classes) recomputeEqualAnc(list []ir.VarID) {
+	var dom []ir.VarID
+	for _, cur := range list {
+		for len(dom) > 0 && !c.chk.DefDominates(dom[len(dom)-1], cur) {
+			dom = dom[:len(dom)-1]
+		}
+		c.equalAncIn[cur] = ir.NoVar
+		for i := len(dom) - 1; i >= 0; i-- {
+			anc := dom[i]
+			if c.chk.Value(anc) == c.chk.Value(cur) && c.chk.Intersect(anc, cur) {
+				c.equalAncIn[cur] = anc
+				break
+			}
+		}
+		dom = append(dom, cur)
+	}
+}

@@ -1,0 +1,429 @@
+// Package core is the paper's out-of-SSA translator (Boissinot, Darte,
+// Rastello, Dupont de Dinechin, Guillon — "Revisiting Out-of-SSA
+// Translation for Correctness, Code Quality, and Efficiency", CGO 2009).
+//
+// The translation has four conceptual phases (Section III):
+//
+//  1. insert parallel copies for all φ-functions (Method I of Sreedhar et
+//     al.) and coalesce each φ's fresh variables into a φ-node — this alone
+//     makes the translation correct;
+//  2. compute the value-based interference relation, using the SSA value
+//     V(x) that comes for free from copy chains;
+//  3. coalesce aggressively, φ-related copies and register-renaming copies
+//     alike, driven by affinity weights;
+//  4. sequentialize the remaining parallel copies optimally.
+//
+// Options select the engineering variants benchmarked in the paper:
+// virtualization of the copy insertion (Method III style), interference
+// graph versus direct checks (InterCheck), dataflow liveness sets versus
+// fast liveness checking (LiveCheck), and the quadratic versus linear
+// congruence-class interference test (Linear). Correctness never depends on
+// the options; only speed, memory footprint, and — across the Figure 5
+// strategies — the number of remaining copies do.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/coalesce"
+	"repro/internal/congruence"
+	"repro/internal/dom"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+	"repro/internal/sreedhar"
+	"repro/internal/ssa"
+)
+
+// Strategy is the coalescing strategy: the seven variants of Figure 5.
+type Strategy int
+
+const (
+	// Intersect coalesces only classes with disjoint live ranges.
+	Intersect Strategy = iota
+	// SreedharI adds Sreedhar's exemption of the copy pair itself.
+	SreedharI
+	// Chaitin uses Chaitin's copy-aware conservative interference.
+	Chaitin
+	// Value uses the paper's value-based interference.
+	Value
+	// SreedharIII virtualizes the copy insertion with intersection-based
+	// interference (the paper's baseline, Method III of Sreedhar et al.).
+	SreedharIII
+	// ValueIS is Value plus the per-φ greedy independent-set search.
+	ValueIS
+	// Sharing is ValueIS plus the copy-sharing post-pass.
+	Sharing
+	// Optimistic is an extension beyond the paper's Figure 5: Budimlić-style
+	// optimistic coalescing followed by de-coalescing of interfering
+	// classes, with value-based interference (the combination the paper's
+	// conclusion describes as orthogonal and compatible).
+	Optimistic
+)
+
+var strategyNames = [...]string{
+	Intersect:   "Intersect",
+	SreedharI:   "Sreedhar I",
+	Chaitin:     "Chaitin",
+	Value:       "Value",
+	SreedharIII: "Sreedhar III",
+	ValueIS:     "Value+IS",
+	Sharing:     "Sharing",
+	Optimistic:  "Optimistic",
+}
+
+func (s Strategy) String() string { return strategyNames[s] }
+
+// Strategies lists all Figure 5 variants in presentation order.
+var Strategies = []Strategy{Intersect, SreedharI, Chaitin, Value, SreedharIII, ValueIS, Sharing}
+
+// Options configure the translator.
+type Options struct {
+	// Strategy selects the coalescing variant (Figure 5). SreedharIII
+	// implies Virtualize.
+	Strategy Strategy
+	// Virtualize emulates the φ-copies and materializes only the ones that
+	// fail to coalesce ("Us III"; Section IV-C). Without it, all copies are
+	// inserted up front ("Us I").
+	Virtualize bool
+	// UseGraph builds an interference graph (half-size bit matrix) and
+	// answers pair queries from it. Incompatible with LiveCheck (the graph
+	// construction needs liveness sets). Disabling it is the paper's
+	// "InterCheck" option.
+	UseGraph bool
+	// LiveCheck replaces dataflow liveness sets by the CFG-only fast
+	// liveness checker (Section IV-A).
+	LiveCheck bool
+	// Linear uses the linear-time congruence-class interference test
+	// (Section IV-B) instead of the quadratic all-pairs test.
+	Linear bool
+	// OrderedSets stores liveness sets as sorted slices instead of bit
+	// vectors — the representation measured by the paper (Figure 7). It is
+	// slower; results are identical. Meaningless with LiveCheck.
+	OrderedSets bool
+	// SplitCriticalEdges splits every critical edge before translation.
+	// The paper discusses this alternative on the lost-copy problem
+	// (Figure 4): with the back edge split, u no longer interferes with x2
+	// and a different copy placement becomes possible. It trades extra
+	// blocks (and jumps) for coalescing freedom.
+	SplitCriticalEdges bool
+	// KeepParallelCopies skips phase 4 (sequentialization), leaving
+	// OpParCopy instructions in the output; used by tests that inspect the
+	// parallel form.
+	KeepParallelCopies bool
+}
+
+// Validate rejects inconsistent option combinations.
+func (o *Options) Validate() error {
+	if o.UseGraph && o.LiveCheck {
+		return fmt.Errorf("core: UseGraph needs liveness sets; it cannot be combined with LiveCheck")
+	}
+	if o.OrderedSets && o.LiveCheck {
+		return fmt.Errorf("core: OrderedSets selects a liveness-set representation; LiveCheck has no sets")
+	}
+	if o.Strategy == SreedharIII && !o.Virtualize {
+		return fmt.Errorf("core: the SreedharIII strategy requires Virtualize")
+	}
+	if o.Strategy == Optimistic && o.Virtualize {
+		return fmt.Errorf("core: Optimistic de-coalescing needs the full copy set; it cannot be virtualized")
+	}
+	return nil
+}
+
+// Stats reports what the translation did and what it cost; the benchmark
+// harness derives Figures 5-7 from it.
+type Stats struct {
+	Blocks, Vars, Phis int
+	// Affinities counts all candidate copies: φ-related (virtual or real)
+	// plus pre-existing register-constraint copies.
+	Affinities      int
+	RemainingCopies int     // copies left after coalescing (parallel pairs)
+	RemainingWeight float64 // frequency-weighted remaining copies
+	SharedRemoved   int     // copies removed by the sharing post-pass
+	FinalCopies     int     // sequential copy instructions in the output
+	CycleCopies     int     // extra copies inserted to break cycles
+	SplitEdges      int     // edges split by the correctness pre-passes
+	CleanedBlocks   int     // degenerate jump blocks removed afterwards
+
+	// Machinery instrumentation.
+	IntersectionTests int // variable-pair live-range intersection tests
+	MaterializedVars  int // primed variables introduced
+
+	// Per-phase wall-clock time: correctness pre-passes + copy insertion,
+	// analyses (dominance, def-use, values, liveness/livecheck, graph),
+	// coalescing, and the rewrite/sequentialization.
+	InsertNanos, AnalyzeNanos, CoalesceNanos, RewriteNanos int64
+
+	// Memory footprint, measured (bytes actually held by the structures)
+	// and evaluated with the paper's perfect-memory formulas (Figure 7).
+	GraphBytes, GraphEval         int
+	LiveSetBytes, LiveSetEval     int // ordered-set representation
+	LiveSetBitEval                int // bit-set formula
+	LiveCheckBytes, LiveCheckEval int
+}
+
+// Translate rewrites f, which must be in strict SSA form, into equivalent
+// φ-free standard code, returning the statistics of the run. f is mutated
+// in place.
+func Translate(f *ir.Func, opt Options) (*Stats, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
+	if opt.Strategy == SreedharIII {
+		opt.Virtualize = true
+	}
+	st := &Stats{}
+	phase := time.Now()
+	mark := func(dst *int64) {
+		now := time.Now()
+		*dst += now.Sub(phase).Nanoseconds()
+		phase = now
+	}
+
+	// Correctness pre-passes (Section II-A): normalize duplicate-pred edges
+	// and split edges whose φ argument is defined by the predecessor's
+	// terminator (the Br_dec case of Figure 2, where copy insertion alone
+	// cannot split the live range).
+	st.SplitEdges += len(sreedhar.SplitDuplicatePredEdges(f))
+	st.SplitEdges += len(sreedhar.SplitBranchDefEdges(f))
+	if opt.SplitCriticalEdges {
+		st.SplitEdges += splitAllCritical(f)
+	}
+
+	dt := dom.Build(f)
+	for _, b := range f.Blocks {
+		st.Phis += len(b.Phis)
+	}
+	st.Blocks = len(f.Blocks)
+
+	var (
+		ins  *sreedhar.Insertion
+		err  error
+		affs []sreedhar.Affinity
+	)
+	if opt.Virtualize {
+		ins = &sreedhar.Insertion{
+			BeginCopies: make([]*ir.Instr, len(f.Blocks)),
+			EndCopies:   make([]*ir.Instr, len(f.Blocks)),
+		}
+		sreedhar.PrepareParallelCopies(f, ins)
+	} else {
+		if ins, err = sreedhar.InsertCopies(f); err != nil {
+			return nil, err
+		}
+	}
+
+	mark(&st.InsertNanos)
+	du := ir.NewDefUse(f)
+	vals := ssa.Values(f, dt)
+
+	var live *liveness.Info
+	var oracle interference.BlockLiveness
+	var lck *livecheck.Checker
+	if opt.LiveCheck {
+		lck = livecheck.New(f, dt, du)
+		oracle = lck
+	} else {
+		be := liveness.Bitsets
+		if opt.OrderedSets {
+			be = liveness.OrderedSets
+		}
+		live = liveness.ComputeWith(f, be)
+		oracle = live
+	}
+	chk := &interference.Checker{F: f, DT: dt, DU: du, Live: oracle, Vals: vals}
+	classes := congruence.New(chk)
+	precoalescePinned(f, classes)
+
+	var graph *interference.Graph
+	if opt.UseGraph {
+		graph = interference.BuildGraph(f, live, graphMode(opt.Strategy), vals)
+	}
+	m := &coalesce.Machinery{Chk: chk, Classes: classes, Graph: graph, Linear: opt.Linear}
+	mark(&st.AnalyzeNanos)
+
+	// φ-nodes of Method I are coalesced by construction (Lemma 1).
+	if !opt.Virtualize {
+		for _, node := range ins.PhiNodes {
+			for i := 1; i < len(node); i++ {
+				classes.MergeForced(node[0], node[i])
+			}
+		}
+		affs = append(affs, ins.Affinities...)
+	}
+	affs = append(affs, collectRealCopies(f, ins)...)
+
+	var res *coalesce.Result
+	if opt.Virtualize {
+		vz := &coalesce.Virtualizer{M: m, Ins: ins, Variant: engineVariant(opt.Strategy), Live: live}
+		vres := vz.Run(f)
+		// Register-constraint and leftover copies: Sreedhar III complements
+		// virtualization with the SSA-based coalescing of Method I for
+		// them; our variants use the value-based rule.
+		nonPhi := engineVariant(opt.Strategy)
+		if opt.Strategy == SreedharIII {
+			nonPhi = coalesce.SreedharI
+		}
+		res = coalesce.Run(m, affs, nonPhi, false)
+		affs = append(affs, vres.Materialized...)
+		for range vres.Materialized {
+			res.Statuses = append(res.Statuses, coalesce.Remaining)
+		}
+		st.MaterializedVars = len(vres.Materialized)
+		st.Affinities = len(affs) + vres.Removed
+	} else if opt.Strategy == Optimistic {
+		res = coalesce.RunOptimistic(m, affs)
+		st.Affinities = len(affs)
+	} else {
+		groupPhis := opt.Strategy == ValueIS || opt.Strategy == Sharing
+		res = coalesce.Run(m, affs, engineVariant(opt.Strategy), groupPhis)
+		st.Affinities = len(affs)
+	}
+	if opt.Strategy == Sharing {
+		st.SharedRemoved = coalesce.Share(m, affs, res)
+	}
+
+	mark(&st.CoalesceNanos)
+
+	// Tally remaining copies (parallel pairs before sequentialization).
+	for i, s := range res.Statuses {
+		if s == coalesce.Remaining {
+			st.RemainingCopies++
+			st.RemainingWeight += affs[i].Weight
+		}
+	}
+
+	// Phase 4: leave CSSA — rename to class representatives, drop
+	// φ-functions and coalesced copies, sequentialize parallel copies.
+	rewrite(f, classes, du, affs, res.Statuses, opt.KeepParallelCopies, st)
+
+	// Pessimistically split edges whose copies all coalesced away leave a
+	// lone jump behind; fold those blocks back.
+	st.CleanedBlocks = ir.CleanupJumpBlocks(f)
+	mark(&st.RewriteNanos)
+
+	st.Vars = len(f.Vars)
+	fillFootprint(st, f, graph, live, lck)
+	st.IntersectionTests = chk.Queries
+	if err := ir.Verify(f); err != nil {
+		return st, fmt.Errorf("core: translated function fails verification: %w", err)
+	}
+	return st, nil
+}
+
+// engineVariant maps a strategy to the class-level interference predicate.
+func engineVariant(s Strategy) coalesce.Variant {
+	switch s {
+	case Intersect, SreedharIII:
+		return coalesce.Intersect
+	case SreedharI:
+		return coalesce.SreedharI
+	case Chaitin:
+		return coalesce.Chaitin
+	default:
+		return coalesce.Value
+	}
+}
+
+// graphMode maps a strategy to the relation stored in the bit matrix.
+func graphMode(s Strategy) interference.GraphMode {
+	switch s {
+	case Intersect, SreedharI, SreedharIII:
+		return interference.ModeIntersect
+	case Chaitin:
+		return interference.ModeChaitin
+	default:
+		return interference.ModeValue
+	}
+}
+
+// splitAllCritical splits every critical edge of f.
+func splitAllCritical(f *ir.Func) int {
+	n := 0
+	blocks := f.Blocks // splits append; iterate the original slice
+	for _, b := range blocks {
+		for _, s := range append([]*ir.Block(nil), b.Succs...) {
+			if ir.IsCriticalEdge(b, s) {
+				ir.SplitEdge(f, b, s)
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// precoalescePinned merges all variables pinned to one architectural
+// register into a single labeled class (Section III-D).
+func precoalescePinned(f *ir.Func, classes *congruence.Classes) {
+	byReg := map[string]ir.VarID{}
+	for i, v := range f.Vars {
+		if v.Reg == "" {
+			continue
+		}
+		if first, ok := byReg[v.Reg]; ok {
+			classes.MergeForced(first, ir.VarID(i))
+		} else {
+			byReg[v.Reg] = ir.VarID(i)
+		}
+	}
+}
+
+// collectRealCopies gathers affinities for the copies that existed before
+// copy insertion (register renaming constraints, optimization leftovers),
+// skipping the parallel copies the insertion itself created.
+func collectRealCopies(f *ir.Func, ins *sreedhar.Insertion) []sreedhar.Affinity {
+	skip := map[*ir.Instr]bool{}
+	for _, pc := range ins.BeginCopies {
+		if pc != nil {
+			skip[pc] = true
+		}
+	}
+	for _, pc := range ins.EndCopies {
+		if pc != nil {
+			skip[pc] = true
+		}
+	}
+	var out []sreedhar.Affinity
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if skip[in] {
+				continue
+			}
+			switch in.Op {
+			case ir.OpCopy:
+				out = append(out, sreedhar.Affinity{
+					Dst: in.Defs[0], Src: in.Uses[0], Weight: b.Freq,
+					Block: b.ID, Slot: ir.SlotOfInstr(i), Phi: -1, Instr: in,
+				})
+			case ir.OpParCopy:
+				for j, d := range in.Defs {
+					out = append(out, sreedhar.Affinity{
+						Dst: d, Src: in.Uses[j], Weight: b.Freq,
+						Block: b.ID, Slot: ir.SlotOfInstr(i), Phi: -1, Instr: in,
+					})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// fillFootprint records measured and evaluated memory footprints.
+func fillFootprint(st *Stats, f *ir.Func, g *interference.Graph, live *liveness.Info, lck *livecheck.Checker) {
+	nv, nb := len(f.Vars), len(f.Blocks)
+	if g != nil {
+		st.GraphBytes = g.AllocatedBytes()
+		st.GraphEval = (nv + 7) / 8 * nv / 2
+	}
+	if live != nil {
+		st.LiveSetBytes = live.Bytes()
+		st.LiveSetEval = live.OrderedBytes()
+		st.LiveSetBitEval = liveness.BitsetBytes(nv, nb)
+	}
+	if lck != nil {
+		st.LiveCheckBytes = lck.Bytes()
+		st.LiveCheckEval = livecheck.EvaluatedBytes(nb)
+	}
+}

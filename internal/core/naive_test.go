@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// naiveEliminatePhis performs the translation Cytron et al. proposed and
+// the paper dissects in Section II: replace a k-input φ-function by k
+// ordinary assignments, one at the end of each predecessor, with no
+// φ-result splitting and no parallel-copy semantics. Briggs et al. showed
+// this miscompiles the swap and lost-copy problems; this file proves our
+// interpreter oracle catches exactly that, i.e. the positive tests in
+// core_test.go are capable of failing.
+func naiveEliminatePhis(f *ir.Func) {
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis {
+			for i, arg := range phi.Uses {
+				pred := b.Preds[i]
+				cp := &ir.Instr{Op: ir.OpCopy, Defs: []ir.VarID{phi.Defs[0]}, Uses: []ir.VarID{arg}}
+				ir.InsertBefore(pred, ir.CopyInsertIndex(pred), cp)
+			}
+		}
+		b.Phis = nil
+	}
+}
+
+func naiveMiscompiles(t *testing.T, src string, inputs [][]int64) bool {
+	t.Helper()
+	orig := ir.MustParse(src)
+	f := ir.MustParse(src)
+	naiveEliminatePhis(f)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("naive translation must at least be structurally valid: %v", err)
+	}
+	for _, in := range inputs {
+		want, err := interp.Run(orig, in, 100000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := interp.Run(f, in, 100000)
+		if err != nil {
+			return true // e.g. diverges or reads garbage
+		}
+		if !interp.Equal(want, got) {
+			return true
+		}
+	}
+	return false
+}
+
+func TestNaiveTranslationLosesTheSwap(t *testing.T) {
+	if !naiveMiscompiles(t, swapSrc, defaultInputs) {
+		t.Fatal("sequential copies at predecessor ends must break the swap problem")
+	}
+}
+
+func TestNaiveTranslationLosesTheCopy(t *testing.T) {
+	if !naiveMiscompiles(t, lostCopySrc, defaultInputs) {
+		t.Fatal("the lost-copy problem must defeat the naive translation")
+	}
+}
+
+// TestNaiveWorksOnCSSA: on code fresh out of SSA construction (which is
+// conventional), even the naive scheme happens to be correct — the paper's
+// point is that SSA optimizations break this, not that the naive scheme
+// never works.
+func TestNaiveWorksOnCSSA(t *testing.T) {
+	src := `
+func cssa {
+entry:
+  a = param 0
+  b = param 1
+  c = cmplt a b
+  br c l r
+l:
+  x1 = add a b
+  jump j
+r:
+  x2 = sub a b
+  jump j
+j:
+  x = phi l:x1 r:x2
+  print x
+  ret x
+}
+`
+	if naiveMiscompiles(t, src, defaultInputs) {
+		t.Fatal("a conventional diamond must survive even the naive translation")
+	}
+}

@@ -1,0 +1,174 @@
+// Package interference implements the paper's notions of live-range
+// intersection and interference (Section III-A):
+//
+//   - Intersect: the live ranges of a and b share a program point. In SSA
+//     this reduces to "the variable whose definition dominates the other's
+//     is live just after that other definition" (Budimlić et al.).
+//   - Chaitin: a is live at the definition of b and that definition is not
+//     a copy between a and b (or symmetrically).
+//   - Value-based (the paper's contribution): a and b interfere iff their
+//     live ranges intersect *and* V(a) ≠ V(b), where V is the SSA value of
+//     package ssa. With this definition the interference relation never has
+//     to be updated or rebuilt after coalescing.
+//
+// Liveness is consumed through the BlockLiveness interface so that the same
+// tests run from dataflow liveness sets (package liveness) or from the fast
+// liveness checker (package livecheck) — the paper's "LiveCheck" option.
+package interference
+
+import (
+	"repro/internal/dom"
+	"repro/internal/ir"
+)
+
+// BlockLiveness answers block-boundary liveness queries. Both
+// liveness.Info and livecheck.Checker satisfy it.
+type BlockLiveness interface {
+	// LiveInBlock reports whether v is live at entry of block b (φ results
+	// of b excluded).
+	LiveInBlock(v ir.VarID, b int) bool
+	// LiveOutBlock reports whether v is live at exit of block b, φ uses of
+	// successors included.
+	LiveOutBlock(v ir.VarID, b int) bool
+}
+
+// Checker bundles the structures needed for interference queries.
+type Checker struct {
+	F    *ir.Func
+	DT   *dom.Tree
+	DU   *ir.DefUse
+	Live BlockLiveness
+	// Vals is the SSA value of every variable (ssa.Values). It may be nil,
+	// in which case value-based queries degrade to pure intersection.
+	Vals []ir.VarID
+
+	// Queries counts the live-range intersection tests performed, for the
+	// instrumentation behind the paper's Figure 6 discussion.
+	Queries int
+}
+
+// Value returns V(v), or v itself when no value information is installed.
+func (c *Checker) Value(v ir.VarID) ir.VarID {
+	if c.Vals == nil {
+		return v
+	}
+	return c.Vals[v]
+}
+
+// LiveAfter reports whether v is live immediately after the instruction at
+// the given slot of block b — after the instruction's reads and writes.
+// Uses of v at that very slot do not keep it alive past the slot.
+func (c *Checker) LiveAfter(v ir.VarID, b int, slot int32) bool {
+	if !c.DU.HasDef(v) {
+		return false
+	}
+	db, ds := c.DU.DefBlock(v), c.DU.DefSlot(v)
+	if db == b {
+		if ds > slot {
+			return false // defined later in the block
+		}
+	} else if !c.DT.Dominates(db, b) {
+		return false // definition does not reach the block
+	}
+	for _, u := range c.DU.Uses(v) {
+		if int(u.Block) == b && u.Slot > slot {
+			return true
+		}
+	}
+	return c.Live.LiveOutBlock(v, b)
+}
+
+// DefOrder compares the definition points of a and b in the pre-DFS order
+// of the dominator tree: negative when def(a) precedes def(b), 0 when the
+// points coincide (components of one parallel copy or φs of one block).
+// Variables without a definition sort last.
+func (c *Checker) DefOrder(a, b ir.VarID) int {
+	ha, hb := c.DU.HasDef(a), c.DU.HasDef(b)
+	switch {
+	case !ha && !hb:
+		return int(a) - int(b)
+	case !ha:
+		return 1
+	case !hb:
+		return -1
+	}
+	pa, pb := c.DT.PreOrder(c.DU.DefBlock(a)), c.DT.PreOrder(c.DU.DefBlock(b))
+	if pa != pb {
+		return int(pa - pb)
+	}
+	if sa, sb := c.DU.DefSlot(a), c.DU.DefSlot(b); sa != sb {
+		return int(sa - sb)
+	}
+	return 0
+}
+
+// DefDominates reports whether the definition point of a dominates the
+// definition point of b (reflexively at equal points).
+func (c *Checker) DefDominates(a, b ir.VarID) bool {
+	if !c.DU.HasDef(a) || !c.DU.HasDef(b) {
+		return false
+	}
+	da, db := c.DU.DefBlock(a), c.DU.DefBlock(b)
+	if da == db {
+		return c.DU.DefSlot(a) <= c.DU.DefSlot(b)
+	}
+	return c.DT.Dominates(da, db)
+}
+
+// Intersect reports whether the live ranges of a and b share a point.
+// By the SSA dominance property this holds iff the variable whose
+// definition dominates the other's is live just after that definition.
+func (c *Checker) Intersect(a, b ir.VarID) bool {
+	if a == b {
+		return true
+	}
+	c.Queries++
+	if !c.DU.HasDef(a) || !c.DU.HasDef(b) {
+		return false
+	}
+	switch {
+	case c.DefDominates(b, a) && !c.DefDominates(a, b):
+		a, b = b, a // make a the dominating one
+	case c.DefDominates(a, b):
+		// already ordered; equal points also land here
+	default:
+		return false // neither definition dominates the other
+	}
+	return c.LiveAfter(a, c.DU.DefBlock(b), c.DU.DefSlot(b)) &&
+		c.LiveAfter(b, c.DU.DefBlock(b), c.DU.DefSlot(b))
+}
+
+// Interferes implements the paper's value-based interference: intersecting
+// live ranges with different values.
+func (c *Checker) Interferes(a, b ir.VarID) bool {
+	if a == b {
+		return false
+	}
+	if c.Vals != nil && c.Vals[a] == c.Vals[b] {
+		return false
+	}
+	return c.Intersect(a, b)
+}
+
+// ChaitinInterferes implements Chaitin's conservative test: one variable is
+// live at the definition point of the other and that definition is not a
+// copy between the two.
+func (c *Checker) ChaitinInterferes(a, b ir.VarID) bool {
+	if a == b || !c.DU.HasDef(a) || !c.DU.HasDef(b) {
+		return false
+	}
+	if c.DefDominates(b, a) && !c.DefDominates(a, b) {
+		a, b = b, a
+	} else if !c.DefDominates(a, b) {
+		return false
+	}
+	// a's definition dominates b's: they can only meet at b's definition.
+	db, ds := c.DU.DefBlock(b), c.DU.DefSlot(b)
+	if !c.LiveAfter(a, db, ds) || !c.LiveAfter(b, db, ds) {
+		return false
+	}
+	if in := c.DU.DefInstr(b); in != nil && (in.IsCopyOf(b, a) || in.IsCopyOf(a, b)) {
+		return false
+	}
+	return true
+}

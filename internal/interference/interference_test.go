@@ -1,0 +1,225 @@
+package interference_test
+
+import (
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/dom"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+	"repro/internal/sreedhar"
+	"repro/internal/ssa"
+)
+
+func newChecker(f *ir.Func, useLiveCheck bool) *interference.Checker {
+	dt := dom.Build(f)
+	du := ir.NewDefUse(f)
+	var live interference.BlockLiveness
+	if useLiveCheck {
+		live = livecheck.New(f, dt, du)
+	} else {
+		live = liveness.Compute(f)
+	}
+	return &interference.Checker{F: f, DT: dt, DU: du, Live: live, Vals: ssa.Values(f, dt)}
+}
+
+const straightSrc = `
+func s {
+entry:
+  a = param 0
+  b = copy a
+  c = add a b
+  d = copy c
+  print b
+  print d
+  ret c
+}
+`
+
+func varID(f *ir.Func, n string) ir.VarID {
+	for i, v := range f.Vars {
+		if v.Name == n {
+			return ir.VarID(i)
+		}
+	}
+	panic(n)
+}
+
+func TestIntersectStraightLine(t *testing.T) {
+	f := ir.MustParse(straightSrc)
+	chk := newChecker(f, false)
+	a, b, c, d := varID(f, "a"), varID(f, "b"), varID(f, "c"), varID(f, "d")
+	// a live until c's def; b live until print; c live to the end.
+	if !chk.Intersect(a, b) {
+		t.Fatal("a and b overlap (a used at c's def, b live past it)")
+	}
+	if !chk.Intersect(c, b) {
+		t.Fatal("c defined while b still live")
+	}
+	if chk.Intersect(a, d) {
+		t.Fatal("a dead before d defined")
+	}
+	if !chk.Intersect(c, d) {
+		t.Fatal("c live at ret, d until print")
+	}
+}
+
+func TestValueBasedInterference(t *testing.T) {
+	f := ir.MustParse(straightSrc)
+	chk := newChecker(f, false)
+	a, b, c, d := varID(f, "a"), varID(f, "b"), varID(f, "c"), varID(f, "d")
+	// b = copy a: same value, intersecting ranges, no interference.
+	if chk.Interferes(a, b) {
+		t.Fatal("copies of the same value never interfere")
+	}
+	// c is a fresh value: interferes with b.
+	if !chk.Interferes(c, b) {
+		t.Fatal("different values with intersecting ranges interfere")
+	}
+	if chk.Interferes(c, d) {
+		t.Fatal("d copies c: no interference")
+	}
+	_ = a
+}
+
+func TestChaitinExemption(t *testing.T) {
+	f := ir.MustParse(straightSrc)
+	chk := newChecker(f, false)
+	a, b := varID(f, "a"), varID(f, "b")
+	if chk.ChaitinInterferes(a, b) {
+		t.Fatal("Chaitin exempts the copy at b's definition")
+	}
+	c, bb := varID(f, "c"), varID(f, "b")
+	if !chk.ChaitinInterferes(c, bb) {
+		t.Fatal("c's def is not a copy of b: Chaitin interference")
+	}
+	// b is still live at d's definition (print b comes later) and d's def
+	// copies c, not b: no exemption applies.
+	if !chk.ChaitinInterferes(varID(f, "d"), b) {
+		t.Fatal("b live at d's definition and d is not a copy of b")
+	}
+}
+
+// TestGraphMatchesChecker builds the interference graph in each mode and
+// compares every pair against the direct predicates, with both liveness
+// backends feeding the checker.
+func TestGraphMatchesChecker(t *testing.T) {
+	p := cfggen.DefaultProfile("graph", 41)
+	p.Funcs = 5
+	for _, f := range cfggen.Generate(p) {
+		sreedhar.SplitDuplicatePredEdges(f)
+		sreedhar.SplitBranchDefEdges(f)
+		if _, err := sreedhar.InsertCopies(f); err != nil {
+			t.Fatal(err)
+		}
+		live := liveness.Compute(f)
+		for _, useLC := range []bool{false, true} {
+			chk := newChecker(f, useLC)
+			pred := map[interference.GraphMode]func(a, b ir.VarID) bool{
+				interference.ModeIntersect: chk.Intersect,
+				interference.ModeChaitin:   chk.ChaitinInterferes,
+				interference.ModeValue:     chk.Interferes,
+			}
+			for mode, want := range pred {
+				g := interference.BuildGraph(f, live, mode, chk.Vals)
+				for a := 0; a < len(f.Vars); a++ {
+					for b := a + 1; b < len(f.Vars); b++ {
+						av, bv := ir.VarID(a), ir.VarID(b)
+						if !chk.DU.HasDef(av) || !chk.DU.HasDef(bv) {
+							continue
+						}
+						if g.Has(av, bv) != want(av, bv) {
+							t.Fatalf("%s mode %d livecheck=%v: graph(%s,%s)=%v checker=%v\n%s",
+								f.Name, mode, useLC, f.VarName(av), f.VarName(bv),
+								g.Has(av, bv), want(av, bv), f)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestDefOrderIsPreDFS(t *testing.T) {
+	funcs := cfggen.Generate(cfggen.DefaultProfile("order", 43))
+	for _, f := range funcs[:3] {
+		chk := newChecker(f, false)
+		for a := 0; a < len(f.Vars); a++ {
+			for b := 0; b < len(f.Vars); b++ {
+				av, bv := ir.VarID(a), ir.VarID(b)
+				if !chk.DU.HasDef(av) || !chk.DU.HasDef(bv) {
+					continue
+				}
+				// Dominance implies order: if def(a) strictly dominates
+				// def(b) then a precedes b in pre-DFS order.
+				if chk.DefDominates(av, bv) && !chk.DefDominates(bv, av) {
+					if chk.DefOrder(av, bv) >= 0 {
+						t.Fatalf("%s: dominating def must precede", f.Name)
+					}
+				}
+				// Antisymmetry at distinct points.
+				if chk.DefOrder(av, bv) < 0 && chk.DefOrder(bv, av) < 0 {
+					t.Fatalf("%s: DefOrder not antisymmetric", f.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectionIsSymmetric(t *testing.T) {
+	funcs := cfggen.Generate(cfggen.DefaultProfile("sym", 47))
+	for _, f := range funcs[:4] {
+		chk := newChecker(f, false)
+		n := len(f.Vars)
+		for a := 0; a < n; a++ {
+			for b := a + 1; b < n; b++ {
+				av, bv := ir.VarID(a), ir.VarID(b)
+				if chk.Intersect(av, bv) != chk.Intersect(bv, av) {
+					t.Fatalf("%s: Intersect not symmetric for %s,%s",
+						f.Name, f.VarName(av), f.VarName(bv))
+				}
+				if chk.Interferes(av, bv) != chk.Interferes(bv, av) {
+					t.Fatalf("%s: Interferes not symmetric", f.Name)
+				}
+			}
+		}
+	}
+}
+
+// TestFigure1Interference reproduces the paper's Figure 1 subtlety: the
+// terminator of B2 uses u, so a copy v' inserted before the branch must
+// intersect u even though u is not in B2's live-out set.
+func TestFigure1Interference(t *testing.T) {
+	src := `
+func fig1 {
+entry:
+  u = param 0
+  v = param 1
+  c = cmplt u v
+  br c b1 b2
+b1:
+  jump b0
+b2:
+  parcopy vp:v
+  br u b3 b0
+b3:
+  print u
+  ret u
+b0:
+  w = phi b1:u b2:vp
+  print w
+  ret w
+}
+`
+	f := ir.MustParse(src)
+	chk := newChecker(f, false)
+	u, vp := varID(f, "u"), varID(f, "vp")
+	if !chk.Intersect(u, vp) {
+		t.Fatal("v' must intersect u: the branch reads u after the copy")
+	}
+	if !chk.Interferes(u, vp) {
+		t.Fatal("u and v' carry different values: interference")
+	}
+}

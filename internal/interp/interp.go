@@ -1,0 +1,198 @@
+// Package interp executes ir functions, both in SSA form (φ-functions are
+// evaluated with parallel-copy semantics on block entry) and in standard
+// form after out-of-SSA translation. It is the semantic-equivalence oracle
+// of the test suite: a translation is correct iff the translated program
+// produces the same observable behaviour (print trace and return value) as
+// the SSA program on every input — this is how the lost-copy and swap
+// problems manifest as test failures rather than silent miscompilations.
+package interp
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Result is the observable behaviour of one execution.
+type Result struct {
+	Ret    int64
+	HasRet bool
+	Trace  []int64 // values printed by OpPrint, in order
+	Steps  int     // executed instructions, φs included
+}
+
+// ErrStepLimit is returned when execution exceeds the step budget.
+var ErrStepLimit = errors.New("interp: step limit exceeded")
+
+// Run executes f with the given parameter values, stopping with ErrStepLimit
+// after maxSteps instructions. Reading a variable that has not been assigned
+// is an error: it indicates a miscompilation rather than a legal execution.
+func Run(f *ir.Func, params []int64, maxSteps int) (*Result, error) {
+	env := make([]int64, len(f.Vars))
+	def := make([]bool, len(f.Vars))
+	res := &Result{}
+
+	read := func(v ir.VarID) (int64, error) {
+		if !def[v] {
+			return 0, fmt.Errorf("interp: read of undefined variable %s", f.VarName(v))
+		}
+		return env[v], nil
+	}
+	write := func(v ir.VarID, x int64) {
+		env[v] = x
+		def[v] = true
+	}
+
+	b := f.Entry()
+	var from *ir.Block
+	for {
+		// φ-functions execute in parallel on entry.
+		if len(b.Phis) > 0 {
+			if from == nil {
+				return nil, fmt.Errorf("interp: φ in entry block %s", b.Name)
+			}
+			pi := b.PredIndex(from)
+			if pi < 0 {
+				return nil, fmt.Errorf("interp: arrived in %s from non-predecessor %s", b.Name, from.Name)
+			}
+			vals := make([]int64, len(b.Phis))
+			for i, phi := range b.Phis {
+				v, err := read(phi.Uses[pi])
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+				res.Steps++
+			}
+			for i, phi := range b.Phis {
+				write(phi.Defs[0], vals[i])
+			}
+		}
+		for _, in := range b.Instrs {
+			res.Steps++
+			if res.Steps > maxSteps {
+				return nil, ErrStepLimit
+			}
+			switch in.Op {
+			case ir.OpNop:
+			case ir.OpConst:
+				write(in.Defs[0], in.Aux)
+			case ir.OpParam:
+				var p int64
+				if int(in.Aux) < len(params) {
+					p = params[in.Aux]
+				}
+				write(in.Defs[0], p)
+			case ir.OpCopy:
+				v, err := read(in.Uses[0])
+				if err != nil {
+					return nil, err
+				}
+				write(in.Defs[0], v)
+			case ir.OpParCopy:
+				tmp := make([]int64, len(in.Uses))
+				for i, u := range in.Uses {
+					v, err := read(u)
+					if err != nil {
+						return nil, err
+					}
+					tmp[i] = v
+				}
+				for i, d := range in.Defs {
+					write(d, tmp[i])
+				}
+			case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpCmpLT, ir.OpCmpEQ:
+				x, err := read(in.Uses[0])
+				if err != nil {
+					return nil, err
+				}
+				y, err := read(in.Uses[1])
+				if err != nil {
+					return nil, err
+				}
+				var r int64
+				switch in.Op {
+				case ir.OpAdd:
+					r = x + y
+				case ir.OpSub:
+					r = x - y
+				case ir.OpMul:
+					r = x * y
+				case ir.OpCmpLT:
+					if x < y {
+						r = 1
+					}
+				case ir.OpCmpEQ:
+					if x == y {
+						r = 1
+					}
+				}
+				write(in.Defs[0], r)
+			case ir.OpNeg:
+				x, err := read(in.Uses[0])
+				if err != nil {
+					return nil, err
+				}
+				write(in.Defs[0], -x)
+			case ir.OpPrint:
+				x, err := read(in.Uses[0])
+				if err != nil {
+					return nil, err
+				}
+				res.Trace = append(res.Trace, x)
+			case ir.OpJump:
+				from, b = b, b.Succs[0]
+			case ir.OpBranch:
+				c, err := read(in.Uses[0])
+				if err != nil {
+					return nil, err
+				}
+				if c != 0 {
+					from, b = b, b.Succs[0]
+				} else {
+					from, b = b, b.Succs[1]
+				}
+			case ir.OpBrDec:
+				c, err := read(in.Uses[0])
+				if err != nil {
+					return nil, err
+				}
+				c--
+				write(in.Defs[0], c)
+				if c != 0 {
+					from, b = b, b.Succs[0]
+				} else {
+					from, b = b, b.Succs[1]
+				}
+			case ir.OpRet:
+				if len(in.Uses) == 1 {
+					v, err := read(in.Uses[0])
+					if err != nil {
+						return nil, err
+					}
+					res.Ret, res.HasRet = v, true
+				}
+				return res, nil
+			default:
+				return nil, fmt.Errorf("interp: unknown op %s", in.Op)
+			}
+			if in.Op.IsTerminator() {
+				break
+			}
+		}
+	}
+}
+
+// Equal reports whether two results are observably identical.
+func Equal(a, b *Result) bool {
+	if a.HasRet != b.HasRet || (a.HasRet && a.Ret != b.Ret) || len(a.Trace) != len(b.Trace) {
+		return false
+	}
+	for i := range a.Trace {
+		if a.Trace[i] != b.Trace[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,228 @@
+package interp_test
+
+import (
+	"testing"
+
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+func run(t *testing.T, src string, params ...int64) *interp.Result {
+	t.Helper()
+	f := ir.MustParse(src)
+	res, err := interp.Run(f, params, 10000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res
+}
+
+func TestArithAndBranch(t *testing.T) {
+	src := `
+func f {
+entry:
+  a = param 0
+  b = param 1
+  s = add a b
+  d = sub a b
+  m = mul a b
+  n = neg a
+  lt = cmplt a b
+  eq = cmpeq a b
+  print s
+  print d
+  print m
+  print n
+  print lt
+  print eq
+  br lt yes no
+yes:
+  one = const 1
+  ret one
+no:
+  zero = const 0
+  ret zero
+}
+`
+	res := run(t, src, 3, 5)
+	want := []int64{8, -2, 15, -3, 1, 0}
+	for i, w := range want {
+		if res.Trace[i] != w {
+			t.Fatalf("trace[%d] = %d, want %d", i, res.Trace[i], w)
+		}
+	}
+	if !res.HasRet || res.Ret != 1 {
+		t.Fatalf("ret = %v/%v", res.Ret, res.HasRet)
+	}
+}
+
+func TestPhiSelectsByIncomingEdge(t *testing.T) {
+	src := `
+func f {
+entry:
+  p = param 0
+  a = const 10
+  b = const 20
+  br p t e
+t:
+  jump j
+e:
+  jump j
+j:
+  x = phi t:a e:b
+  ret x
+}
+`
+	if r := run(t, src, 1); r.Ret != 10 {
+		t.Fatalf("taken path: ret %d", r.Ret)
+	}
+	if r := run(t, src, 0); r.Ret != 20 {
+		t.Fatalf("fallthrough path: ret %d", r.Ret)
+	}
+}
+
+func TestPhisEvaluateInParallel(t *testing.T) {
+	// The classic swap: both φs must read the pre-iteration values.
+	src := `
+func f {
+entry:
+  a = const 1
+  b = const 2
+  n = const 3
+  jump h
+h:
+  x = phi entry:a h:y2
+  y = phi entry:b h:x2
+  x2 = copy x
+  y2 = copy y
+  one = const 1
+  n = sub n one
+  zero = const 0
+  c = cmplt zero n
+  br c h out
+out:
+  print x
+  print y
+  ret x
+}
+`
+	// After 2 swaps x=1,y=2 → (2,1) → (1,2); loop runs 3 iterations: the φ
+	// reads swap each time: iter1 x=1,y=2; iter2 x=2,y=1; iter3 x=1,y=2.
+	r := run(t, src)
+	if r.Trace[0] != 1 || r.Trace[1] != 2 {
+		t.Fatalf("swap semantics broken: %v", r.Trace)
+	}
+}
+
+func TestParallelCopySwap(t *testing.T) {
+	src := `
+func f {
+entry:
+  a = const 7
+  b = const 9
+  parcopy a:b b:a
+  print a
+  print b
+  ret a
+}
+`
+	r := run(t, src)
+	if r.Trace[0] != 9 || r.Trace[1] != 7 {
+		t.Fatalf("parallel copy must swap: %v", r.Trace)
+	}
+}
+
+func TestBrDec(t *testing.T) {
+	src := `
+func f {
+entry:
+  n = const 3
+  jump h
+h:
+  i = phi entry:n h:j
+  print i
+  j = brdec i h out
+out:
+  print j
+  ret j
+}
+`
+	r := run(t, src)
+	// i printed each iteration: 3,2,1; then j = 0 printed.
+	want := []int64{3, 2, 1, 0}
+	if len(r.Trace) != 4 {
+		t.Fatalf("trace %v", r.Trace)
+	}
+	for i, w := range want {
+		if r.Trace[i] != w {
+			t.Fatalf("trace %v, want %v", r.Trace, want)
+		}
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	src := `
+func f {
+entry:
+  jump entry
+}
+`
+	f := ir.MustParse(src)
+	if _, err := interp.Run(f, nil, 100); err != interp.ErrStepLimit {
+		t.Fatalf("want step limit error, got %v", err)
+	}
+}
+
+func TestUndefinedReadIsError(t *testing.T) {
+	// x is only assigned on one path but read on both.
+	src := `
+func f {
+entry:
+  p = param 0
+  br p t e
+t:
+  x = const 1
+  jump j
+e:
+  jump j
+j:
+  ret x
+}
+`
+	f := ir.MustParse(src)
+	if _, err := interp.Run(f, []int64{0}, 100); err == nil {
+		t.Fatal("read of undefined variable must fail")
+	}
+	if _, err := interp.Run(f, []int64{1}, 100); err != nil {
+		t.Fatalf("defined path must succeed: %v", err)
+	}
+}
+
+func TestMissingParamsReadAsZero(t *testing.T) {
+	src := `
+func f {
+entry:
+  a = param 5
+  ret a
+}
+`
+	if r := run(t, src); r.Ret != 0 {
+		t.Fatalf("missing param must be 0, got %d", r.Ret)
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := &interp.Result{Ret: 1, HasRet: true, Trace: []int64{1, 2}}
+	b := &interp.Result{Ret: 1, HasRet: true, Trace: []int64{1, 2}}
+	if !interp.Equal(a, b) {
+		t.Fatal("identical results must be equal")
+	}
+	b.Trace[1] = 3
+	if interp.Equal(a, b) {
+		t.Fatal("different traces must differ")
+	}
+	c := &interp.Result{Ret: 1, HasRet: false, Trace: []int64{1, 2}}
+	if interp.Equal(a, c) {
+		t.Fatal("ret presence matters")
+	}
+}

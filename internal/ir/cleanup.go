@@ -1,0 +1,97 @@
+package ir
+
+// CleanupJumpBlocks removes trivial blocks that contain only an
+// unconditional jump, rewiring their predecessors to the jump target. The
+// out-of-SSA pre-passes split edges pessimistically; when every copy on a
+// split edge coalesces away, the split block degenerates to a jump and this
+// pass removes it again.
+//
+// A jump-only block is kept when removing it would create a duplicate
+// predecessor of a block with φ-functions (it is doing edge-splitting work)
+// or when it is the entry block. Returns the number of removed blocks.
+func CleanupJumpBlocks(f *Func) int {
+	removed := 0
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			if b == f.Entry() || len(b.Instrs) != 1 || b.Instrs[0].Op != OpJump {
+				continue
+			}
+			if len(b.Phis) != 0 || len(b.Preds) == 0 {
+				continue
+			}
+			target := b.Succs[0]
+			if target == b {
+				continue // self loop
+			}
+			if !canBypass(b, target) {
+				continue
+			}
+			// Rewire every pred edge b←p into target←p, preserving the
+			// positional φ arguments of target (b's slot is replaced by its
+			// predecessors; since target has no duplicate-pred hazard —
+			// checked above — the argument value is simply inherited).
+			ti := target.PredIndex(b)
+			for k, p := range b.Preds {
+				for si, s := range p.Succs {
+					if s == b {
+						p.Succs[si] = target
+					}
+				}
+				if k == 0 {
+					target.Preds[ti] = p
+				} else {
+					target.Preds = append(target.Preds, p)
+					for _, phi := range target.Phis {
+						phi.Uses = append(phi.Uses, phi.Uses[ti])
+					}
+				}
+			}
+			b.Preds = nil
+			b.Succs = nil
+			removed++
+			changed = true
+		}
+	}
+	if removed > 0 {
+		compact(f)
+	}
+	return removed
+}
+
+// canBypass reports whether rewiring b's predecessors straight to target is
+// safe: no predecessor may end up a duplicate predecessor of a φ-carrying
+// target, and predecessors with several successors must not create a
+// critical edge that carries φ arguments implicitly (conservatively, any
+// duplicate at all is rejected).
+func canBypass(b, target *Block) bool {
+	for _, p := range b.Preds {
+		for _, q := range target.Preds {
+			if q == p {
+				return false
+			}
+		}
+	}
+	seen := map[*Block]bool{}
+	for _, p := range b.Preds {
+		if seen[p] {
+			return false
+		}
+		seen[p] = true
+	}
+	return true
+}
+
+// compact drops unreachable/detached blocks and renumbers IDs.
+func compact(f *Func) {
+	keep := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if b == f.Entry() || len(b.Preds) > 0 || len(b.Succs) > 0 {
+			keep = append(keep, b)
+		}
+	}
+	f.Blocks = keep
+	for i, b := range f.Blocks {
+		b.ID = i
+	}
+}

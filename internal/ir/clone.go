@@ -1,0 +1,47 @@
+package ir
+
+// Clone returns a deep copy of f: fresh blocks, instructions, and variable
+// records, with edges rewired to the copies. The benchmark harness
+// translates each function once per configuration, so the original must
+// stay pristine.
+func Clone(f *Func) *Func {
+	nf := &Func{
+		Name:      f.Name,
+		NumParams: f.NumParams,
+		Vars:      make([]*Var, len(f.Vars)),
+		Blocks:    make([]*Block, len(f.Blocks)),
+	}
+	for i, v := range f.Vars {
+		cp := *v
+		nf.Vars[i] = &cp
+	}
+	for i, b := range f.Blocks {
+		nf.Blocks[i] = &Block{ID: b.ID, Name: b.Name, Freq: b.Freq}
+	}
+	cloneInstr := func(in *Instr) *Instr {
+		ni := &Instr{Op: in.Op, Aux: in.Aux}
+		if len(in.Defs) > 0 {
+			ni.Defs = append([]VarID(nil), in.Defs...)
+		}
+		if len(in.Uses) > 0 {
+			ni.Uses = append([]VarID(nil), in.Uses...)
+		}
+		return ni
+	}
+	for i, b := range f.Blocks {
+		nb := nf.Blocks[i]
+		for _, p := range b.Preds {
+			nb.Preds = append(nb.Preds, nf.Blocks[p.ID])
+		}
+		for _, s := range b.Succs {
+			nb.Succs = append(nb.Succs, nf.Blocks[s.ID])
+		}
+		for _, in := range b.Phis {
+			nb.Phis = append(nb.Phis, cloneInstr(in))
+		}
+		for _, in := range b.Instrs {
+			nb.Instrs = append(nb.Instrs, cloneInstr(in))
+		}
+	}
+	return nf
+}

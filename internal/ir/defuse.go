@@ -1,0 +1,144 @@
+package ir
+
+import "math"
+
+// Slot numbering inside a block: all φ-functions execute in parallel at
+// slot 0; body instruction i occupies slot i+1. φ arguments are uses at the
+// end of the corresponding predecessor and are recorded with slot
+// PhiUseSlot in that predecessor.
+const PhiUseSlot = math.MaxInt32
+
+// SlotOfInstr returns the slot of body instruction index i.
+func SlotOfInstr(i int) int32 { return int32(i + 1) }
+
+// UseSite locates one use of a variable.
+type UseSite struct {
+	Block int32
+	Slot  int32 // PhiUseSlot for φ uses (at the very end of Block)
+	Instr *Instr
+}
+
+// DefUse indexes the unique definition and all uses of every variable of an
+// SSA-form function. Variables without a definition (possible for function
+// universes that grew speculatively) report DefBlock -1.
+type DefUse struct {
+	f        *Func
+	defBlock []int32
+	defSlot  []int32
+	defInstr []*Instr
+	uses     [][]UseSite
+}
+
+// NewDefUse builds the index. The function must be in SSA form (each
+// variable defined at most once); a second definition panics.
+func NewDefUse(f *Func) *DefUse {
+	n := len(f.Vars)
+	du := &DefUse{
+		f:        f,
+		defBlock: make([]int32, n),
+		defSlot:  make([]int32, n),
+		defInstr: make([]*Instr, n),
+		uses:     make([][]UseSite, n),
+	}
+	for i := range du.defBlock {
+		du.defBlock[i] = -1
+	}
+	def := func(v VarID, b int, slot int32, in *Instr) {
+		if du.defBlock[v] >= 0 {
+			panic("ir: variable " + f.VarName(v) + " defined twice (not SSA)")
+		}
+		du.defBlock[v] = int32(b)
+		du.defSlot[v] = slot
+		du.defInstr[v] = in
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Phis {
+			def(in.Defs[0], b.ID, 0, in)
+			for i, u := range in.Uses {
+				du.uses[u] = append(du.uses[u], UseSite{Block: int32(b.Preds[i].ID), Slot: PhiUseSlot, Instr: in})
+			}
+		}
+		for i, in := range b.Instrs {
+			slot := SlotOfInstr(i)
+			for _, d := range in.Defs {
+				def(d, b.ID, slot, in)
+			}
+			for _, u := range in.Uses {
+				du.uses[u] = append(du.uses[u], UseSite{Block: int32(b.ID), Slot: slot, Instr: in})
+			}
+		}
+	}
+	return du
+}
+
+// Func returns the indexed function.
+func (du *DefUse) Func() *Func { return du.f }
+
+// HasDef reports whether v has a definition.
+func (du *DefUse) HasDef(v VarID) bool { return du.defBlock[v] >= 0 }
+
+// DefBlock returns the ID of the defining block of v (-1 if undefined).
+func (du *DefUse) DefBlock(v VarID) int { return int(du.defBlock[v]) }
+
+// DefSlot returns the slot of the definition of v within its block.
+func (du *DefUse) DefSlot(v VarID) int32 { return du.defSlot[v] }
+
+// DefInstr returns the defining instruction of v, or nil.
+func (du *DefUse) DefInstr(v VarID) *Instr { return du.defInstr[v] }
+
+// Uses returns the use sites of v. The returned slice must not be mutated.
+func (du *DefUse) Uses(v VarID) []UseSite { return du.uses[v] }
+
+// grow extends the index when the function universe gained variables.
+func (du *DefUse) grow() {
+	for len(du.defBlock) < len(du.f.Vars) {
+		du.defBlock = append(du.defBlock, -1)
+		du.defSlot = append(du.defSlot, 0)
+		du.defInstr = append(du.defInstr, nil)
+		du.uses = append(du.uses, nil)
+	}
+}
+
+// AddDef records a new definition of v at (block, slot); v must be a fresh
+// variable without a prior definition. Used by the virtualized translator
+// when it materializes a copy into a pre-created parallel copy, which keeps
+// every existing slot stable.
+func (du *DefUse) AddDef(v VarID, block int, slot int32, in *Instr) {
+	du.grow()
+	if du.defBlock[v] >= 0 {
+		panic("ir: AddDef on already-defined variable " + du.f.VarName(v))
+	}
+	du.defBlock[v] = int32(block)
+	du.defSlot[v] = slot
+	du.defInstr[v] = in
+}
+
+// ReplaceDef moves the recorded definition of v to (block, slot, in) — used
+// when the virtualized translator turns a φ result into a parallel-copy
+// destination.
+func (du *DefUse) ReplaceDef(v VarID, block int, slot int32, in *Instr) {
+	du.grow()
+	du.defBlock[v] = int32(block)
+	du.defSlot[v] = slot
+	du.defInstr[v] = in
+}
+
+// AddUse records a new use of v at (block, slot).
+func (du *DefUse) AddUse(v VarID, block int, slot int32, in *Instr) {
+	du.grow()
+	du.uses[v] = append(du.uses[v], UseSite{Block: int32(block), Slot: slot, Instr: in})
+}
+
+// RemoveUse deletes one recorded use of v at (block, slot) by the given
+// instruction. It panics when no such use exists (an indexing bug).
+func (du *DefUse) RemoveUse(v VarID, block int, slot int32, in *Instr) {
+	us := du.uses[v]
+	for i, u := range us {
+		if int(u.Block) == block && u.Slot == slot && u.Instr == in {
+			us[i] = us[len(us)-1]
+			du.uses[v] = us[:len(us)-1]
+			return
+		}
+	}
+	panic("ir: RemoveUse of unrecorded use of " + du.f.VarName(v))
+}

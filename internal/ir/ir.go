@@ -1,0 +1,241 @@
+// Package ir defines the intermediate representation used by the out-of-SSA
+// translator: a control-flow graph of basic blocks holding three-address
+// instructions, φ-functions with parallel-copy semantics, explicit parallel
+// copy instructions, and the DSP-style branch-with-decrement terminator
+// (Br_dec) that the paper uses to show that copy insertion alone cannot
+// always translate out of SSA (Figure 2).
+//
+// The representation is deliberately simple: variables are indices into a
+// per-function universe, instructions carry explicit def and use lists, and
+// φ-function arguments are positionally matched with block predecessors.
+package ir
+
+import "fmt"
+
+// VarID identifies a variable within a Func. NoVar marks an absent variable.
+type VarID int32
+
+// NoVar is the invalid variable ID.
+const NoVar VarID = -1
+
+// Var is a program variable. In SSA form each Var has exactly one defining
+// instruction. Reg, when non-empty, pins the variable to an architectural
+// register (calling conventions, dedicated registers); pinned variables are
+// handled as described in Section III-D of the paper.
+type Var struct {
+	ID   VarID
+	Name string
+	Reg  string
+}
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Opcodes. OpJump..OpRet are terminators and must appear last in a block.
+const (
+	OpNop Op = iota
+	OpConst
+	OpParam
+	OpCopy
+	OpAdd
+	OpSub
+	OpMul
+	OpNeg
+	OpCmpLT
+	OpCmpEQ
+	OpPhi
+	OpParCopy
+	OpPrint
+	OpJump
+	OpBranch
+	OpBrDec
+	OpRet
+)
+
+var opNames = [...]string{
+	OpNop:     "nop",
+	OpConst:   "const",
+	OpParam:   "param",
+	OpCopy:    "copy",
+	OpAdd:     "add",
+	OpSub:     "sub",
+	OpMul:     "mul",
+	OpNeg:     "neg",
+	OpCmpLT:   "cmplt",
+	OpCmpEQ:   "cmpeq",
+	OpPhi:     "phi",
+	OpParCopy: "parcopy",
+	OpPrint:   "print",
+	OpJump:    "jump",
+	OpBranch:  "br",
+	OpBrDec:   "brdec",
+	OpRet:     "ret",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// IsTerminator reports whether op ends a basic block.
+func (op Op) IsTerminator() bool { return op >= OpJump }
+
+// DefinesAfterCopyPoint reports whether the terminator defines a variable
+// after the pre-terminator copy-insertion point. Only Br_dec does: its
+// decremented counter is written by the branch itself, so no copy can be
+// placed between that definition and the block's outgoing edges (paper,
+// Figure 2).
+func (op Op) DefinesAfterCopyPoint() bool { return op == OpBrDec }
+
+// Instr is a single instruction. Defs and Uses are variable operand lists:
+//
+//   - OpConst: Defs[0] = Aux (an integer literal)
+//   - OpParam: Defs[0] = function input number Aux
+//   - OpCopy: Defs[0] = Uses[0]
+//   - arithmetic ops: Defs[0] = op(Uses...)
+//   - OpPhi: Defs[0] = φ(Uses...), Uses[i] flowing from Block.Preds[i]
+//   - OpParCopy: Defs[i] = Uses[i], all reads before all writes
+//   - OpPrint: observable output of Uses[0]
+//   - OpJump: to Succs[0]
+//   - OpBranch: Uses[0] != 0 → Succs[0], else Succs[1]
+//   - OpBrDec: Defs[0] = Uses[0]-1, then Defs[0] != 0 → Succs[0] else Succs[1]
+//   - OpRet: returns Uses[0] if present
+type Instr struct {
+	Op   Op
+	Defs []VarID
+	Uses []VarID
+	Aux  int64
+}
+
+// Def returns the single definition of the instruction, or NoVar.
+func (in *Instr) Def() VarID {
+	if len(in.Defs) == 1 {
+		return in.Defs[0]
+	}
+	return NoVar
+}
+
+// IsCopyOf reports whether in copies src into dst (either a plain copy or a
+// parallel-copy component).
+func (in *Instr) IsCopyOf(dst, src VarID) bool {
+	switch in.Op {
+	case OpCopy:
+		return in.Defs[0] == dst && in.Uses[0] == src
+	case OpParCopy:
+		for i, d := range in.Defs {
+			if d == dst && in.Uses[i] == src {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Block is a basic block. Phis hold the φ-functions (conceptually executed
+// in parallel at block entry); Instrs holds the ordinary instructions, the
+// last of which must be a terminator. Freq is the estimated execution
+// frequency used as the coalescing affinity weight.
+type Block struct {
+	ID     int
+	Name   string
+	Preds  []*Block
+	Succs  []*Block
+	Phis   []*Instr
+	Instrs []*Instr
+	Freq   float64
+}
+
+// Terminator returns the block's final instruction, or nil if absent.
+func (b *Block) Terminator() *Instr {
+	if len(b.Instrs) == 0 {
+		return nil
+	}
+	t := b.Instrs[len(b.Instrs)-1]
+	if !t.Op.IsTerminator() {
+		return nil
+	}
+	return t
+}
+
+// PredIndex returns the position of p in b.Preds, or -1.
+func (b *Block) PredIndex(p *Block) int {
+	for i, q := range b.Preds {
+		if q == p {
+			return i
+		}
+	}
+	return -1
+}
+
+// NumPoints returns the number of instruction slots in the block
+// (φ-functions count as a single parallel slot 0 when present).
+func (b *Block) NumPoints() int { return len(b.Phis) + len(b.Instrs) }
+
+// Func is a function: a variable universe plus a CFG. Blocks[0] is the
+// entry block. Block IDs always equal their index in Blocks.
+type Func struct {
+	Name      string
+	Blocks    []*Block
+	Vars      []*Var
+	NumParams int
+}
+
+// NewFunc returns an empty function.
+func NewFunc(name string) *Func { return &Func{Name: name} }
+
+// NewVar adds a fresh variable with the given name to the universe.
+func (f *Func) NewVar(name string) VarID {
+	id := VarID(len(f.Vars))
+	if name == "" {
+		name = fmt.Sprintf("v%d", id)
+	}
+	f.Vars = append(f.Vars, &Var{ID: id, Name: name})
+	return id
+}
+
+// NewPinnedVar adds a fresh variable pinned to architectural register reg.
+func (f *Func) NewPinnedVar(name, reg string) VarID {
+	id := f.NewVar(name)
+	f.Vars[id].Reg = reg
+	return id
+}
+
+// VarName returns a printable name for v.
+func (f *Func) VarName(v VarID) string {
+	if v == NoVar {
+		return "_"
+	}
+	return f.Vars[v].Name
+}
+
+// NewBlock appends a fresh block with frequency 1.
+func (f *Func) NewBlock(name string) *Block {
+	b := &Block{ID: len(f.Blocks), Name: name, Freq: 1}
+	if name == "" {
+		b.Name = fmt.Sprintf("b%d", b.ID)
+	}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Entry returns the entry block.
+func (f *Func) Entry() *Block { return f.Blocks[0] }
+
+// AddEdge records a control-flow edge from → to, keeping Preds/Succs
+// consistent. The successor order of a block matches the operand order of
+// its terminator (taken target first for branches).
+func AddEdge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// NumInstrs returns the total instruction count of the function, φs included.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Phis) + len(b.Instrs)
+	}
+	return n
+}

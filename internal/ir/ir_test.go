@@ -1,0 +1,316 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `
+func f {
+entry:
+  a = param 0
+  b = const 7
+  c = add a b
+  br c body exit
+body (freq 10):
+  d = phi entry:c body:e
+  one = const 1
+  e = sub d one
+  print e
+  br e body exit
+exit:
+  x = phi entry:c body:e
+  ret x
+}
+`
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	f := MustParse(sample)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	text := f.String()
+	g, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if g.String() != text {
+		t.Fatalf("round trip not stable:\n%s\nvs\n%s", text, g.String())
+	}
+}
+
+func TestParseStructure(t *testing.T) {
+	f := MustParse(sample)
+	if len(f.Blocks) != 3 {
+		t.Fatalf("blocks = %d", len(f.Blocks))
+	}
+	body := f.Blocks[1]
+	if body.Name != "body" || body.Freq != 10 {
+		t.Fatalf("body block wrong: %s freq %v", body.Name, body.Freq)
+	}
+	if len(body.Phis) != 1 || len(body.Preds) != 2 {
+		t.Fatal("φ or preds wrong")
+	}
+	// φ argument order must match pred order.
+	phi := body.Phis[0]
+	for i, p := range body.Preds {
+		arg := f.VarName(phi.Uses[i])
+		if p.Name == "entry" && arg != "c" {
+			t.Fatalf("arg for entry = %s", arg)
+		}
+		if p.Name == "body" && arg != "e" {
+			t.Fatalf("arg for body = %s", arg)
+		}
+	}
+	if f.NumParams != 1 {
+		t.Fatalf("NumParams = %d", f.NumParams)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"func f {\nentry:\n  x = bogus y\n}",
+		"func f {\n  x = const 1\n}",              // instruction outside block
+		"func f {\nentry:\n  x = phi nosuch:y\n}", // unknown pred
+		"func f {\nentry:\n  parcopy xy\n}",       // malformed parcopy operand
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestVerifyCatchesBrokenCFG(t *testing.T) {
+	f := MustParse(sample)
+	f.Blocks[0].Succs = f.Blocks[0].Succs[:1] // drop an edge one-sidedly
+	if err := Verify(f); err == nil {
+		t.Fatal("asymmetric edge not detected")
+	}
+
+	f = MustParse(sample)
+	f.Blocks[2].Instrs = nil // remove terminator
+	if err := Verify(f); err == nil {
+		t.Fatal("missing terminator not detected")
+	}
+
+	f = MustParse(sample)
+	f.Blocks[1].Phis[0].Uses = f.Blocks[1].Phis[0].Uses[:1]
+	if err := Verify(f); err == nil {
+		t.Fatal("φ arity mismatch not detected")
+	}
+
+	f = MustParse(sample)
+	f.Blocks[0].Instrs = append(f.Blocks[0].Instrs, &Instr{Op: OpRet})
+	if err := Verify(f); err == nil {
+		t.Fatal("trailing instruction after terminator not detected")
+	}
+}
+
+func TestDefUse(t *testing.T) {
+	f := MustParse(sample)
+	du := NewDefUse(f)
+	c := findVar(f, "c")
+	if du.DefBlock(c) != 0 {
+		t.Fatalf("def block of c = %d", du.DefBlock(c))
+	}
+	uses := du.Uses(c)
+	// c: branch use in entry, φ use (entry edge) ×2 for body and exit φs.
+	var phiUses, branchUses int
+	for _, u := range uses {
+		if u.Slot == PhiUseSlot {
+			if u.Block != 0 {
+				t.Fatalf("φ use of c attributed to block %d", u.Block)
+			}
+			phiUses++
+		} else {
+			branchUses++
+		}
+	}
+	if phiUses != 2 || branchUses != 1 {
+		t.Fatalf("c uses: %d φ, %d direct", phiUses, branchUses)
+	}
+
+	e := findVar(f, "e")
+	if du.DefSlot(e) <= 0 {
+		t.Fatal("e defined in body at a positive slot")
+	}
+	d := findVar(f, "d")
+	if du.DefSlot(d) != 0 {
+		t.Fatal("φ defs live at slot 0")
+	}
+}
+
+func TestDefUseRejectsDoubleDef(t *testing.T) {
+	src := "func f {\nentry:\n  x = const 1\n  x = const 2\n  ret x\n}"
+	f := MustParse(src)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double definition must panic")
+		}
+	}()
+	NewDefUse(f)
+}
+
+func TestCloneIndependence(t *testing.T) {
+	f := MustParse(sample)
+	g := Clone(f)
+	if g.String() != f.String() {
+		t.Fatal("clone must print identically")
+	}
+	g.Blocks[0].Instrs[0].Aux = 99
+	g.Blocks[1].Phis[0].Uses[0] = 0
+	g.Vars[0].Name = "zzz"
+	if g.String() == f.String() {
+		t.Fatal("mutating the clone must not affect the original")
+	}
+	for i, b := range g.Blocks {
+		for j, p := range b.Preds {
+			if p == f.Blocks[i].Preds[j] {
+				t.Fatal("clone shares block pointers")
+			}
+		}
+	}
+}
+
+func TestSplitEdge(t *testing.T) {
+	f := MustParse(sample)
+	entry, body := f.Blocks[0], f.Blocks[1]
+	if !IsCriticalEdge(entry, body) {
+		t.Fatal("entry→body is critical (2 succs, 2 preds)")
+	}
+	nb := SplitEdge(f, entry, body)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	if body.PredIndex(nb) != 0 {
+		t.Fatal("new block must take over the pred slot")
+	}
+	if len(nb.Preds) != 1 || nb.Preds[0] != entry || len(nb.Succs) != 1 || nb.Succs[0] != body {
+		t.Fatal("split block edges wrong")
+	}
+	// φ argument positions must be preserved.
+	if f.VarName(body.Phis[0].Uses[0]) != "c" {
+		t.Fatal("φ argument lost by split")
+	}
+}
+
+func TestCopyInsertIndexBeforeTerminator(t *testing.T) {
+	f := MustParse(sample)
+	b := f.Blocks[1]
+	idx := CopyInsertIndex(b)
+	if b.Instrs[idx].Op != OpBranch {
+		t.Fatal("copies must be inserted right before the terminator")
+	}
+}
+
+func TestBrDecProperties(t *testing.T) {
+	if !OpBrDec.DefinesAfterCopyPoint() || OpBranch.DefinesAfterCopyPoint() {
+		t.Fatal("only Br_dec defines after the copy point")
+	}
+	if !OpBrDec.IsTerminator() || OpPhi.IsTerminator() {
+		t.Fatal("terminator classification wrong")
+	}
+}
+
+func TestIsCopyOf(t *testing.T) {
+	in := &Instr{Op: OpParCopy, Defs: []VarID{1, 2}, Uses: []VarID{3, 4}}
+	if !in.IsCopyOf(1, 3) || !in.IsCopyOf(2, 4) || in.IsCopyOf(1, 4) {
+		t.Fatal("parallel copy pair detection wrong")
+	}
+	cp := &Instr{Op: OpCopy, Defs: []VarID{1}, Uses: []VarID{2}}
+	if !cp.IsCopyOf(1, 2) || cp.IsCopyOf(2, 1) {
+		t.Fatal("plain copy detection wrong")
+	}
+}
+
+func findVar(f *Func, name string) VarID {
+	for i, v := range f.Vars {
+		if v.Name == name {
+			return VarID(i)
+		}
+	}
+	panic("no var " + name)
+}
+
+func TestPrintContainsFreq(t *testing.T) {
+	f := MustParse(sample)
+	if !strings.Contains(f.String(), "body (freq 10):") {
+		t.Fatalf("frequency lost in printing:\n%s", f.String())
+	}
+}
+
+func TestCleanupJumpBlocks(t *testing.T) {
+	f := MustParse(sample)
+	entry, body := f.Blocks[0], f.Blocks[1]
+	nb := SplitEdge(f, entry, body)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	// The split block is jump-only: cleanup must fold it away again.
+	removed := CleanupJumpBlocks(f)
+	if removed != 1 {
+		t.Fatalf("removed %d blocks, want 1", removed)
+	}
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range f.Blocks {
+		if b == nb {
+			t.Fatal("split block still present")
+		}
+	}
+	// φ arguments and pred order must be intact.
+	if f.VarName(body.Phis[0].Uses[body.PredIndex(entry)]) != "c" {
+		t.Fatal("φ argument lost by cleanup")
+	}
+}
+
+func TestCleanupKeepsNeededSplits(t *testing.T) {
+	// Duplicate-pred hazard: both branch targets reach j through jump-only
+	// blocks; folding both would give j duplicate predecessors, so at most
+	// one may be removed.
+	src := `
+func k {
+entry:
+  p = param 0
+  a = const 1
+  b = const 2
+  br p l r
+l:
+  jump j
+r:
+  jump j
+j:
+  x = phi l:a r:b
+  ret x
+}
+`
+	f := MustParse(src)
+	CleanupJumpBlocks(f)
+	if err := Verify(f); err != nil {
+		t.Fatal(err)
+	}
+	j := f.Blocks[len(f.Blocks)-1]
+	seen := map[*Block]bool{}
+	for _, p := range j.Preds {
+		if seen[p] {
+			t.Fatal("cleanup created duplicate predecessors")
+		}
+		seen[p] = true
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	src := sample + "\n" + strings.ReplaceAll(sample, "func f", "func g")
+	funcs, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(funcs) != 2 || funcs[0].Name != "f" || funcs[1].Name != "g" {
+		t.Fatalf("ParseAll wrong: %d funcs", len(funcs))
+	}
+	if _, err := ParseAll("   \n"); err == nil {
+		t.Fatal("empty input must error")
+	}
+}

@@ -1,0 +1,310 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the textual IR form produced by Func.String. The grammar is
+// line oriented:
+//
+//	func NAME {
+//	label (freq N):          // "(freq N)" optional
+//	  x = const 42
+//	  x = param 0
+//	  x = copy y
+//	  x = add y z            // sub, mul, neg, cmplt, cmpeq
+//	  x = phi b0:a b1:b      // one argument per predecessor, in pred order
+//	  parcopy d1:s1 d2:s2
+//	  print x
+//	  jump b1
+//	  br c b1 b2
+//	  x = brdec c b1 b2
+//	  ret x                  // operand optional
+//	}
+//
+// Branch targets create the predecessor lists in the order the edges appear,
+// and φ arguments are matched against that order, so blocks that are branch
+// targets of several blocks receive predecessors in source order.
+func Parse(src string) (*Func, error) {
+	p := &parser{
+		vars:   map[string]VarID{},
+		blocks: map[string]*Block{},
+	}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	return p.f, nil
+}
+
+// MustParse is Parse for tests; it panics on error.
+func MustParse(src string) *Func {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// ParseAll parses a stream of functions (the output of cmd/ssagen, or
+// several Func.String results concatenated).
+func ParseAll(src string) ([]*Func, error) {
+	var funcs []*Func
+	var cur []string
+	flush := func() error {
+		hasFunc := false
+		for _, l := range cur {
+			if strings.HasPrefix(strings.TrimSpace(l), "func ") {
+				hasFunc = true
+				break
+			}
+		}
+		if !hasFunc {
+			cur = nil // leading blanks or comments only
+			return nil
+		}
+		f, err := Parse(strings.Join(cur, "\n"))
+		if err != nil {
+			return err
+		}
+		funcs = append(funcs, f)
+		cur = nil
+		return nil
+	}
+	for _, line := range strings.Split(src, "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "func ") {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+		cur = append(cur, line)
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(funcs) == 0 {
+		return nil, fmt.Errorf("ir: no functions found")
+	}
+	return funcs, nil
+}
+
+type parser struct {
+	f      *Func
+	vars   map[string]VarID
+	blocks map[string]*Block
+	cur    *Block
+	// deferred edges: φ argument resolution needs final pred order, and
+	// pred order is fixed by edge creation order, so edges are created
+	// eagerly but φ lines are resolved at the end.
+	phiFixups []phiFixup
+}
+
+type phiFixup struct {
+	block *Block
+	instr *Instr
+	args  []string // "pred:var"
+	line  int
+}
+
+func (p *parser) block(name string) *Block {
+	if b, ok := p.blocks[name]; ok {
+		return b
+	}
+	b := p.f.NewBlock(name)
+	p.blocks[name] = b
+	return b
+}
+
+func (p *parser) v(name string) VarID {
+	if id, ok := p.vars[name]; ok {
+		return id
+	}
+	id := p.f.NewVar(name)
+	p.vars[name] = id
+	return id
+}
+
+func (p *parser) run(src string) error {
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if err := p.line(line, ln+1); err != nil {
+			return fmt.Errorf("line %d: %w", ln+1, err)
+		}
+	}
+	if p.f == nil {
+		return fmt.Errorf("no function found")
+	}
+	for _, fix := range p.phiFixups {
+		if err := p.fixPhi(fix); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *parser) line(line string, ln int) error {
+	switch {
+	case strings.HasPrefix(line, "func "):
+		name := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "func ")), "{")
+		p.f = NewFunc(strings.TrimSpace(name))
+		return nil
+	case line == "}":
+		return nil
+	case strings.HasSuffix(line, ":"):
+		return p.label(strings.TrimSuffix(line, ":"))
+	}
+	if p.cur == nil {
+		return fmt.Errorf("instruction outside block: %q", line)
+	}
+	return p.instr(line, ln)
+}
+
+func (p *parser) label(text string) error {
+	freq := 1.0
+	name := text
+	if i := strings.Index(text, "("); i >= 0 {
+		name = strings.TrimSpace(text[:i])
+		inner := strings.TrimSuffix(strings.TrimSpace(text[i+1:]), ")")
+		fields := strings.Fields(inner)
+		if len(fields) != 2 || fields[0] != "freq" {
+			return fmt.Errorf("bad block annotation %q", inner)
+		}
+		v, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fmt.Errorf("bad freq: %w", err)
+		}
+		freq = v
+	}
+	b := p.block(name)
+	b.Freq = freq
+	p.cur = b
+	return nil
+}
+
+var arithOps = map[string]Op{
+	"add": OpAdd, "sub": OpSub, "mul": OpMul, "neg": OpNeg,
+	"cmplt": OpCmpLT, "cmpeq": OpCmpEQ,
+}
+
+func (p *parser) instr(line string, ln int) error {
+	b := p.cur
+	var dst string
+	rest := line
+	if i := strings.Index(line, "="); i >= 0 && !strings.Contains(line[:i], " phi") {
+		dst = strings.TrimSpace(line[:i])
+		rest = strings.TrimSpace(line[i+1:])
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return fmt.Errorf("empty instruction")
+	}
+	op, args := fields[0], fields[1:]
+
+	emit := func(in *Instr) { b.Instrs = append(b.Instrs, in) }
+
+	switch op {
+	case "const":
+		c, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return err
+		}
+		emit(&Instr{Op: OpConst, Defs: []VarID{p.v(dst)}, Aux: c})
+	case "param":
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return err
+		}
+		if n+1 > p.f.NumParams {
+			p.f.NumParams = n + 1
+		}
+		emit(&Instr{Op: OpParam, Defs: []VarID{p.v(dst)}, Aux: int64(n)})
+	case "copy":
+		emit(&Instr{Op: OpCopy, Defs: []VarID{p.v(dst)}, Uses: []VarID{p.v(args[0])}})
+	case "phi":
+		in := &Instr{Op: OpPhi, Defs: []VarID{p.v(dst)}}
+		b.Phis = append(b.Phis, in)
+		p.phiFixups = append(p.phiFixups, phiFixup{block: b, instr: in, args: args, line: ln})
+	case "parcopy":
+		in := &Instr{Op: OpParCopy}
+		for _, a := range args {
+			parts := strings.SplitN(a, ":", 2)
+			if len(parts) != 2 {
+				return fmt.Errorf("bad parcopy operand %q", a)
+			}
+			in.Defs = append(in.Defs, p.v(parts[0]))
+			in.Uses = append(in.Uses, p.v(parts[1]))
+		}
+		emit(in)
+	case "print":
+		emit(&Instr{Op: OpPrint, Uses: []VarID{p.v(args[0])}})
+	case "jump":
+		emit(&Instr{Op: OpJump})
+		AddEdge(b, p.block(args[0]))
+	case "br":
+		emit(&Instr{Op: OpBranch, Uses: []VarID{p.v(args[0])}})
+		AddEdge(b, p.block(args[1]))
+		AddEdge(b, p.block(args[2]))
+	case "brdec":
+		emit(&Instr{Op: OpBrDec, Defs: []VarID{p.v(dst)}, Uses: []VarID{p.v(args[0])}})
+		AddEdge(b, p.block(args[1]))
+		AddEdge(b, p.block(args[2]))
+	case "ret":
+		in := &Instr{Op: OpRet}
+		if len(args) == 1 {
+			in.Uses = []VarID{p.v(args[0])}
+		}
+		emit(in)
+	case "nop":
+		emit(&Instr{Op: OpNop})
+	default:
+		aop, ok := arithOps[op]
+		if !ok {
+			return fmt.Errorf("unknown op %q", op)
+		}
+		in := &Instr{Op: aop, Defs: []VarID{p.v(dst)}}
+		for _, a := range args {
+			in.Uses = append(in.Uses, p.v(a))
+		}
+		emit(in)
+	}
+	return nil
+}
+
+func (p *parser) fixPhi(fix phiFixup) error {
+	in := fix.instr
+	in.Uses = make([]VarID, len(fix.block.Preds))
+	for i := range in.Uses {
+		in.Uses[i] = NoVar
+	}
+	for _, a := range fix.args {
+		parts := strings.SplitN(a, ":", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("line %d: bad phi operand %q", fix.line, a)
+		}
+		pred, ok := p.blocks[parts[0]]
+		if !ok {
+			return fmt.Errorf("line %d: unknown phi predecessor %q", fix.line, parts[0])
+		}
+		idx := fix.block.PredIndex(pred)
+		if idx < 0 {
+			return fmt.Errorf("line %d: block %s is not a predecessor of %s", fix.line, parts[0], fix.block.Name)
+		}
+		in.Uses[idx] = p.v(parts[1])
+	}
+	for i, u := range in.Uses {
+		if u == NoVar {
+			return fmt.Errorf("line %d: phi in %s missing argument for predecessor %s",
+				fix.line, fix.block.Name, fix.block.Preds[i].Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the function in the textual form accepted by Parse.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s {\n", f.Name)
+	for _, blk := range f.Blocks {
+		if blk.Freq != 1 {
+			fmt.Fprintf(&b, "%s (freq %g):\n", blk.Name, blk.Freq)
+		} else {
+			fmt.Fprintf(&b, "%s:\n", blk.Name)
+		}
+		for _, in := range blk.Phis {
+			fmt.Fprintf(&b, "  %s\n", f.instrString(blk, in))
+		}
+		for _, in := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", f.instrString(blk, in))
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func (f *Func) instrString(blk *Block, in *Instr) string {
+	name := func(v VarID) string { return f.VarName(v) }
+	switch in.Op {
+	case OpConst:
+		return fmt.Sprintf("%s = const %d", name(in.Defs[0]), in.Aux)
+	case OpParam:
+		return fmt.Sprintf("%s = param %d", name(in.Defs[0]), in.Aux)
+	case OpCopy:
+		return fmt.Sprintf("%s = copy %s", name(in.Defs[0]), name(in.Uses[0]))
+	case OpPhi:
+		parts := make([]string, len(in.Uses))
+		for i, u := range in.Uses {
+			pred := "?"
+			if i < len(blk.Preds) {
+				pred = blk.Preds[i].Name
+			}
+			parts[i] = fmt.Sprintf("%s:%s", pred, name(u))
+		}
+		return fmt.Sprintf("%s = phi %s", name(in.Defs[0]), strings.Join(parts, " "))
+	case OpParCopy:
+		parts := make([]string, len(in.Defs))
+		for i := range in.Defs {
+			parts[i] = fmt.Sprintf("%s:%s", name(in.Defs[i]), name(in.Uses[i]))
+		}
+		return "parcopy " + strings.Join(parts, " ")
+	case OpPrint:
+		return fmt.Sprintf("print %s", name(in.Uses[0]))
+	case OpJump:
+		return fmt.Sprintf("jump %s", blk.Succs[0].Name)
+	case OpBranch:
+		return fmt.Sprintf("br %s %s %s", name(in.Uses[0]), blk.Succs[0].Name, blk.Succs[1].Name)
+	case OpBrDec:
+		return fmt.Sprintf("%s = brdec %s %s %s", name(in.Defs[0]), name(in.Uses[0]), blk.Succs[0].Name, blk.Succs[1].Name)
+	case OpRet:
+		if len(in.Uses) == 1 {
+			return fmt.Sprintf("ret %s", name(in.Uses[0]))
+		}
+		return "ret"
+	case OpNop:
+		return "nop"
+	default: // arithmetic
+		ops := make([]string, len(in.Uses))
+		for i, u := range in.Uses {
+			ops[i] = name(u)
+		}
+		return fmt.Sprintf("%s = %s %s", name(in.Defs[0]), in.Op, strings.Join(ops, " "))
+	}
+}

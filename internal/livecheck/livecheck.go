@@ -1,0 +1,228 @@
+// Package livecheck implements fast liveness *checking* for SSA-form
+// programs in the style of Boissinot et al. (CGO'08), the substrate the
+// paper uses to drop liveness sets entirely (option "LiveCheck").
+//
+// Instead of dataflow liveness sets, the checker precomputes, per basic
+// block, the set R(q) of blocks reachable from q in the reduced CFG (back
+// edges removed, where back edges are DFS retreating edges — equivalently,
+// for reducible CFGs, edges whose target dominates their source), plus the
+// list of back edges.
+//
+// A query for variable a defined in block d (which dominates all its uses)
+// then closes q's reachability over back edges *without ever crossing d*:
+// starting from R(q), the targets of back edges whose source is reached are
+// accepted — re-entering their loop — provided the target is strictly
+// inside d's dominance region (a target outside it can only reach a's uses
+// back through d, which redefines a; the definition block itself is a
+// barrier). a is live-in at q iff the closure reaches a use. Because the
+// structures depend only on the CFG, they stay valid while instructions are
+// inserted or removed — exactly what the out-of-SSA translator needs while
+// it inserts copies.
+//
+// The implementation is validated by differential tests against package
+// liveness on generated (reducible) CFGs; irreducible CFGs are outside the
+// scope of the workload generator, as in the paper's experimental setup.
+package livecheck
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/dom"
+	"repro/internal/ir"
+)
+
+// Checker answers liveness queries from CFG-only precomputation plus the
+// def-use index of the current program.
+type Checker struct {
+	f     *ir.Func
+	dt    *dom.Tree
+	du    *ir.DefUse
+	r     []*bitset.Set // reduced reachability per block
+	backs []backEdge    // all back edges of the CFG
+
+	// Per-query scratch, reused across queries; the checker is therefore
+	// not safe for concurrent use.
+	reach    *bitset.Set
+	accepted *bitset.Set
+	lastQ    int // block of the cached closure; -1 when invalid
+	lastD    int // definition block of the cached closure
+}
+
+type backEdge struct{ src, tgt int }
+
+// New precomputes the checking structures for f. The def-use index du must
+// describe the current instructions of f; call SetDefUse after rewriting
+// the program (the CFG-derived structures are reused as long as the CFG is
+// unchanged).
+func New(f *ir.Func, dt *dom.Tree, du *ir.DefUse) *Checker {
+	n := len(f.Blocks)
+	c := &Checker{f: f, dt: dt, du: du}
+
+	// Identify back edges with a DFS from the entry: an edge is a back
+	// edge when its target is on the current DFS stack (retreating edge).
+	onStack := make([]bool, n)
+	visited := make([]bool, n)
+	isBack := make([]map[int]bool, n)
+	type frame struct {
+		b    *ir.Block
+		next int
+	}
+	stack := []frame{{b: f.Entry()}}
+	visited[f.Entry().ID] = true
+	onStack[f.Entry().ID] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(fr.b.Succs) {
+			s := fr.b.Succs[fr.next]
+			fr.next++
+			if onStack[s.ID] {
+				if isBack[fr.b.ID] == nil {
+					isBack[fr.b.ID] = map[int]bool{}
+				}
+				isBack[fr.b.ID][s.ID] = true
+				continue
+			}
+			if !visited[s.ID] {
+				visited[s.ID] = true
+				onStack[s.ID] = true
+				stack = append(stack, frame{b: s})
+			}
+			continue
+		}
+		onStack[fr.b.ID] = false
+		stack = stack[:len(stack)-1]
+	}
+
+	// Reduced reachability in reverse topological order: the reduced graph
+	// is acyclic, and the reverse of the DFS postorder of the reduced graph
+	// is a topological order. Reuse the dominator tree's RPO, which was
+	// computed on the full graph; it is still a valid topological order of
+	// the reduced graph because removing retreating edges keeps every
+	// remaining edge forward or cross with respect to that DFS.
+	c.r = make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		c.r[i] = bitset.New(n)
+	}
+	rpo := dt.RPO()
+	for i := len(rpo) - 1; i >= 0; i-- {
+		q := rpo[i]
+		c.r[q].Add(q)
+		for _, s := range f.Blocks[q].Succs {
+			if isBack[q] != nil && isBack[q][s.ID] {
+				continue
+			}
+			c.r[q].UnionWith(c.r[s.ID])
+		}
+	}
+
+	for s := 0; s < n; s++ {
+		for t := range isBack[s] {
+			c.backs = append(c.backs, backEdge{s, t})
+		}
+	}
+	c.reach = bitset.New(n)
+	c.accepted = bitset.New(n)
+	c.lastQ = -1
+	return c
+}
+
+// closure computes, into c.reach, the blocks reachable from q without
+// crossing the definition block d: R(q) closed over back edges whose target
+// lies strictly inside d's dominance region. The result is cached for
+// consecutive queries with the same (q, d).
+func (c *Checker) closure(q, d int) *bitset.Set {
+	if c.lastQ == q && c.lastD == d {
+		return c.reach
+	}
+	c.lastQ, c.lastD = q, d
+	c.reach.CopyFrom(c.r[q])
+	c.accepted.Clear()
+	for changed := true; changed; {
+		changed = false
+		for _, be := range c.backs {
+			if c.accepted.Has(be.tgt) || be.tgt == d || !c.reach.Has(be.src) {
+				continue
+			}
+			if !c.dt.StrictlyDominates(d, be.tgt) {
+				continue // re-entering that loop would cross d
+			}
+			c.accepted.Add(be.tgt)
+			c.reach.UnionWith(c.r[be.tgt])
+			changed = true
+		}
+	}
+	return c.reach
+}
+
+// SetDefUse installs a fresh def-use index after the program's instructions
+// were rewritten (the CFG must be unchanged).
+func (c *Checker) SetDefUse(du *ir.DefUse) { c.du = du }
+
+// LiveInBlock reports whether v is live at entry of block q
+// (φ results of q excluded, matching package liveness).
+func (c *Checker) LiveInBlock(v ir.VarID, q int) bool {
+	d := c.du.DefBlock(v)
+	if d < 0 || d == q || !c.dt.Dominates(d, q) {
+		return false
+	}
+	reach := c.closure(q, d)
+	for _, u := range c.du.Uses(v) {
+		ub := int(u.Block)
+		if ub == d {
+			// A body use inside the defining block sits before d's exit; a
+			// φ use on an edge d→succ is only live on that very edge. In
+			// both cases reaching it from elsewhere would cross d.
+			continue
+		}
+		if reach.Has(ub) {
+			return true
+		}
+	}
+	return false
+}
+
+// LiveOutBlock reports whether v is live at exit of block q, including
+// variables flowing into φ-functions of successors along q's edges.
+func (c *Checker) LiveOutBlock(v ir.VarID, q int) bool {
+	d := c.du.DefBlock(v)
+	if d < 0 || !c.dt.Dominates(d, q) {
+		return false
+	}
+	for _, u := range c.du.Uses(v) {
+		if u.Slot == ir.PhiUseSlot && int(u.Block) == q {
+			return true // used by a φ of a successor along one of q's edges
+		}
+	}
+	if d == q {
+		// Live-out of the defining block iff some use lies beyond it.
+		for _, u := range c.du.Uses(v) {
+			if int(u.Block) != q {
+				return true
+			}
+		}
+		return false
+	}
+	for _, s := range c.f.Blocks[q].Succs {
+		if c.LiveInBlock(v, s.ID) {
+			return true
+		}
+	}
+	return false
+}
+
+// R exposes the reduced reachability of block q (tests).
+func (c *Checker) R(q int) []int { return c.r[q].Elems() }
+
+// Bytes returns the footprint of the precomputed structures measured as
+// stored: one reachability bit set per block plus the two query scratch
+// sets and the back-edge list.
+func (c *Checker) Bytes() int {
+	total := c.reach.Bytes() + c.accepted.Bytes() + 16*len(c.backs)
+	for i := range c.r {
+		total += c.r[i].Bytes()
+	}
+	return total
+}
+
+// EvaluatedBytes is the paper's perfect-memory formula for the checking
+// structures: ceil(nblocks/8) * nblocks * 2.
+func EvaluatedBytes(nblocks int) int { return (nblocks + 7) / 8 * nblocks * 2 }

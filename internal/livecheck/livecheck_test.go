@@ -1,0 +1,111 @@
+package livecheck_test
+
+import (
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/dom"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+	"repro/internal/sreedhar"
+)
+
+// TestMatchesDataflowOnGeneratedCFGs is the core differential test: on the
+// generator's (reducible) CFGs, the CFG-only checker must answer exactly
+// like the dataflow liveness sets, for every variable at every block.
+func TestMatchesDataflowOnGeneratedCFGs(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		p := cfggen.DefaultProfile("lc", 100+seed)
+		p.Funcs = 6
+		for _, f := range cfggen.Generate(p) {
+			compareAll(t, f)
+		}
+	}
+}
+
+// TestMatchesDataflowAfterCopyInsertion repeats the comparison on the
+// program the translator actually queries: after Method I copy insertion,
+// with parallel copies and primed variables in place.
+func TestMatchesDataflowAfterCopyInsertion(t *testing.T) {
+	p := cfggen.DefaultProfile("lci", 321)
+	p.Funcs = 6
+	for _, f := range cfggen.Generate(p) {
+		sreedhar.SplitDuplicatePredEdges(f)
+		sreedhar.SplitBranchDefEdges(f)
+		if _, err := sreedhar.InsertCopies(f); err != nil {
+			t.Fatal(err)
+		}
+		compareAll(t, f)
+	}
+}
+
+func compareAll(t *testing.T, f *ir.Func) {
+	t.Helper()
+	dt := dom.Build(f)
+	du := ir.NewDefUse(f)
+	lc := livecheck.New(f, dt, du)
+	lv := liveness.Compute(f)
+	for _, b := range f.Blocks {
+		for v := range f.Vars {
+			vid := ir.VarID(v)
+			if gotIn, wantIn := lc.LiveInBlock(vid, b.ID), lv.LiveInBlock(vid, b.ID); gotIn != wantIn {
+				t.Fatalf("%s: liveIn(%s, %s) = %v, dataflow says %v\n%s",
+					f.Name, f.VarName(vid), b.Name, gotIn, wantIn, f)
+			}
+			if gotOut, wantOut := lc.LiveOutBlock(vid, b.ID), lv.LiveOutBlock(vid, b.ID); gotOut != wantOut {
+				t.Fatalf("%s: liveOut(%s, %s) = %v, dataflow says %v\n%s",
+					f.Name, f.VarName(vid), b.Name, gotOut, wantOut, f)
+			}
+		}
+	}
+}
+
+// TestStructuresSurviveCopyInsertion: the precomputed structures depend
+// only on the CFG, so inserting instructions must not invalidate them —
+// only the def-use index is refreshed.
+func TestStructuresSurviveCopyInsertion(t *testing.T) {
+	p := cfggen.DefaultProfile("lcsurvive", 77)
+	p.Funcs = 4
+	for _, f := range cfggen.Generate(p) {
+		sreedhar.SplitDuplicatePredEdges(f)
+		sreedhar.SplitBranchDefEdges(f)
+		dt := dom.Build(f)
+		lc := livecheck.New(f, dt, ir.NewDefUse(f))
+		if _, err := sreedhar.InsertCopies(f); err != nil {
+			t.Fatal(err)
+		}
+		lc.SetDefUse(ir.NewDefUse(f)) // CFG unchanged: reuse R and T*
+		lv := liveness.Compute(f)
+		for _, b := range f.Blocks {
+			for v := range f.Vars {
+				vid := ir.VarID(v)
+				if lc.LiveOutBlock(vid, b.ID) != lv.LiveOutBlock(vid, b.ID) {
+					t.Fatalf("%s: stale-structure disagreement on %s at %s",
+						f.Name, f.VarName(vid), b.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestFootprintFormula(t *testing.T) {
+	if livecheck.EvaluatedBytes(16) != 2*2*16 {
+		t.Fatalf("EvaluatedBytes(16) = %d", livecheck.EvaluatedBytes(16))
+	}
+	f := ir.MustParse(`
+func t {
+entry:
+  a = param 0
+  jump b
+b:
+  print a
+  ret a
+}
+`)
+	dt := dom.Build(f)
+	lc := livecheck.New(f, dt, ir.NewDefUse(f))
+	if lc.Bytes() <= 0 {
+		t.Fatal("measured footprint must be positive")
+	}
+}

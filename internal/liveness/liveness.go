@@ -1,0 +1,202 @@
+// Package liveness computes classic per-block live-in/live-out sets with
+// backward dataflow analysis, using the SSA conventions the paper relies
+// on: a φ-function's arguments are live-out of the corresponding
+// predecessors (they are read "on the edge"), and a φ-function's result is
+// not live-in of its block (it is defined at block entry).
+//
+// The sets can be stored in two backends: dense bit sets (fast, used by
+// default) or sorted "ordered sets" — the representation of the paper's
+// measured configurations (Figure 7 "Measured"; Sreedhar III and the
+// default Us I/III all keep liveness as ordered sets). The choice affects
+// speed and measured footprint, never results.
+package liveness
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
+
+// VarSet is one liveness set; both backends implement it.
+type VarSet interface {
+	Has(v int) bool
+	Add(v int) bool // reports whether the set changed
+	Remove(v int) bool
+	ForEach(f func(int))
+	Count() int
+	Bytes() int // measured footprint of the payload
+}
+
+type bitSet struct{ *bitset.Set }
+
+func (s bitSet) Add(v int) bool {
+	if s.Set.Has(v) {
+		return false
+	}
+	s.Set.Add(v)
+	return true
+}
+func (s bitSet) Remove(v int) bool {
+	if !s.Set.Has(v) {
+		return false
+	}
+	s.Set.Remove(v)
+	return true
+}
+
+type ordSet struct{ *bitset.Ordered }
+
+func (s ordSet) Add(v int) bool    { return s.Ordered.Add(v) }
+func (s ordSet) Remove(v int) bool { return s.Ordered.Remove(v) }
+func (s ordSet) Count() int        { return s.Ordered.Len() }
+func (s ordSet) Bytes() int        { return s.Ordered.CapBytes() }
+
+// Backend selects the set representation.
+type Backend int
+
+const (
+	// Bitsets stores each set as a dense bit vector.
+	Bitsets Backend = iota
+	// OrderedSets stores each set as a sorted slice of variable IDs, the
+	// paper's measured representation.
+	OrderedSets
+)
+
+// Info holds the result of the dataflow analysis.
+type Info struct {
+	f       *ir.Func
+	liveIn  []VarSet
+	liveOut []VarSet
+	// Iterations is the number of passes the fixpoint took (diagnostics).
+	Iterations int
+}
+
+// Compute runs the analysis on f with bit-set storage.
+func Compute(f *ir.Func) *Info { return ComputeWith(f, Bitsets) }
+
+// ComputeWith runs the analysis with the chosen backend. The fixpoint
+// operates directly on the stored representation, so the ordered backend
+// pays its insertion cost during construction too — as in the paper, where
+// liveness set construction is part of the measured translation time.
+func ComputeWith(f *ir.Func, be Backend) *Info {
+	n := len(f.Blocks)
+	nv := len(f.Vars)
+	mk := func() VarSet {
+		if be == OrderedSets {
+			return ordSet{bitset.NewOrdered(0)}
+		}
+		return bitSet{bitset.New(nv)}
+	}
+	info := &Info{
+		f:       f,
+		liveIn:  make([]VarSet, n),
+		liveOut: make([]VarSet, n),
+	}
+	upExposed := make([]*bitset.Set, n)
+	defs := make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		info.liveIn[i] = mk()
+		info.liveOut[i] = mk()
+		upExposed[i] = bitset.New(nv)
+		defs[i] = bitset.New(nv)
+	}
+
+	for _, b := range f.Blocks {
+		ue, df := upExposed[b.ID], defs[b.ID]
+		for _, in := range b.Phis {
+			df.Add(int(in.Defs[0])) // φ uses are attributed to predecessors
+		}
+		for _, in := range b.Instrs {
+			// For parallel copies this is still correct: all uses are read
+			// before any def is written, and the Defs/Uses loops below keep
+			// that order.
+			for _, u := range in.Uses {
+				if !df.Has(int(u)) {
+					ue.Add(int(u))
+				}
+			}
+			for _, d := range in.Defs {
+				df.Add(int(d))
+			}
+		}
+	}
+
+	// Backward iteration to fixpoint; sets only grow, so "no Add changed
+	// anything" is convergence.
+	for changed := true; changed; {
+		changed = false
+		info.Iterations++
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := info.liveOut[i]
+			for _, s := range b.Succs {
+				info.liveIn[s.ID].ForEach(func(v int) {
+					if out.Add(v) {
+						changed = true
+					}
+				})
+				pi := s.PredIndex(b)
+				for _, phi := range s.Phis {
+					if out.Add(int(phi.Uses[pi])) {
+						changed = true
+					}
+				}
+			}
+			in := info.liveIn[i]
+			out.ForEach(func(v int) {
+				if !defs[i].Has(v) {
+					if in.Add(v) {
+						changed = true
+					}
+				}
+			})
+			upExposed[i].ForEach(func(v int) {
+				if in.Add(v) {
+					changed = true
+				}
+			})
+		}
+	}
+	return info
+}
+
+// Func returns the analyzed function.
+func (l *Info) Func() *ir.Func { return l.f }
+
+// In returns the set of variables live at entry of block b
+// (φ results of b excluded, by convention).
+func (l *Info) In(b int) VarSet { return l.liveIn[b] }
+
+// Out returns the set of variables live at exit of block b, including
+// variables flowing into φ-functions of successors along b's edges.
+func (l *Info) Out(b int) VarSet { return l.liveOut[b] }
+
+// LiveInBlock reports whether v is live at entry of block b. It adapts the
+// sets to the query interface shared with package livecheck.
+func (l *Info) LiveInBlock(v ir.VarID, b int) bool { return l.liveIn[b].Has(int(v)) }
+
+// LiveOutBlock reports whether v is live at exit of block b.
+func (l *Info) LiveOutBlock(v ir.VarID, b int) bool { return l.liveOut[b].Has(int(v)) }
+
+// Bytes returns the measured footprint of the stored sets.
+func (l *Info) Bytes() int {
+	total := 0
+	for i := range l.liveIn {
+		total += l.liveIn[i].Bytes() + l.liveOut[i].Bytes()
+	}
+	return total
+}
+
+// OrderedBytes returns the footprint of the live-in and live-out sets if
+// stored as ordered sets: 4 bytes per element (paper, Figure 7,
+// "Evaluated (Ordered sets)").
+func (l *Info) OrderedBytes() int {
+	total := 0
+	for i := range l.liveIn {
+		total += 4 * (l.liveIn[i].Count() + l.liveOut[i].Count())
+	}
+	return total
+}
+
+// BitsetBytes returns the paper's perfect-memory bit-set formula:
+// ceil(nvars/8) * nblocks * 2.
+func BitsetBytes(nvars, nblocks int) int { return (nvars + 7) / 8 * nblocks * 2 }

@@ -1,0 +1,52 @@
+package regalloc
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// Apply rewrites f according to an allocation: every register-resident
+// variable is renamed to a shared per-register variable, while spilled
+// variables keep their own name (standing in for a stack slot). The result
+// is an executable model of the allocated code — if the allocation (or the
+// preceding out-of-SSA coalescing) had ever merged two simultaneously live
+// values, running the rewritten function through the interpreter would
+// produce different observable behaviour. The test suite uses exactly that
+// as an end-to-end semantic check of the whole back end.
+//
+// Apply must be called on the same (φ-free) function the allocation was
+// computed for; it reports an error if f has gained variables since.
+func Apply(f *ir.Func, res *Result) error {
+	if len(res.RegOf) != len(f.Vars) {
+		return fmt.Errorf("regalloc: allocation is for %d variables, function has %d",
+			len(res.RegOf), len(f.Vars))
+	}
+	regVar := map[string]ir.VarID{}
+	mapped := make([]ir.VarID, len(f.Vars))
+	for v := range f.Vars {
+		reg := res.RegOf[v]
+		if reg == "" {
+			mapped[v] = ir.VarID(v) // spilled: keeps its own slot
+			continue
+		}
+		rv, ok := regVar[reg]
+		if !ok {
+			rv = f.NewVar("%" + reg)
+			f.Vars[rv].Reg = reg
+			regVar[reg] = rv
+		}
+		mapped[v] = rv
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for i, d := range in.Defs {
+				in.Defs[i] = mapped[d]
+			}
+			for i, u := range in.Uses {
+				in.Uses[i] = mapped[u]
+			}
+		}
+	}
+	return nil
+}

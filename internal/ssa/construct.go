@@ -1,0 +1,201 @@
+// Package ssa builds and manipulates SSA form on the ir CFG: dominance-
+// frontier φ placement with Cytron-style renaming, the "same value" analysis
+// V(x) the paper's value-based interference relies on (Section III-A),
+// copy propagation (the SSA optimization that breaks conventionality and
+// motivates a general out-of-SSA translation), dead code elimination, φ-web
+// computation, and a strict SSA verifier.
+package ssa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitset"
+	"repro/internal/dom"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// Construct rewrites f, which may assign each variable several times, into
+// pruned SSA form: φ-functions are placed on the iterated dominance
+// frontier of each variable's definition blocks, restricted to blocks where
+// the variable is live-in (pruned SSA, so no φ ever needs a value from a
+// path that never defines the variable), and variables are renamed so each
+// has a unique definition. Every live use must be dominated by a
+// definition; Construct panics otherwise (the workload generator and tests
+// only produce strict programs).
+//
+// It returns the dominator tree (valid for the rewritten function) and a
+// map from new variables to the original variable they version.
+func Construct(f *ir.Func) (*dom.Tree, []ir.VarID) {
+	dt := dom.Build(f)
+	live := liveness.Compute(f)
+	nOrig := len(f.Vars)
+
+	// Definition sites and single-block usage, per original variable.
+	defBlocks := make([][]int, nOrig)
+	inOneBlock := make([]int32, nOrig) // -1 unseen, -2 several blocks, else the block
+	for i := range inOneBlock {
+		inOneBlock[i] = -1
+	}
+	touch := func(v ir.VarID, b int) {
+		switch inOneBlock[v] {
+		case -1:
+			inOneBlock[v] = int32(b)
+		case int32(b), -2:
+		default:
+			inOneBlock[v] = -2
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, u := range in.Uses {
+				touch(u, b.ID)
+			}
+			for _, d := range in.Defs {
+				defBlocks[d] = append(defBlocks[d], b.ID)
+				touch(d, b.ID)
+			}
+		}
+		if len(b.Phis) > 0 {
+			panic("ssa: Construct input already contains φ-functions")
+		}
+	}
+
+	// φ placement on iterated dominance frontiers.
+	df := dt.Frontier()
+	hasPhi := make([]map[ir.VarID]*ir.Instr, len(f.Blocks))
+	for v := ir.VarID(0); int(v) < nOrig; v++ {
+		if len(defBlocks[v]) == 0 || inOneBlock[v] >= 0 {
+			continue
+		}
+		work := append([]int(nil), defBlocks[v]...)
+		onWork := bitset.New(len(f.Blocks))
+		for _, b := range work {
+			onWork.Add(b)
+		}
+		for len(work) > 0 {
+			b := work[len(work)-1]
+			work = work[:len(work)-1]
+			for _, y := range df[b] {
+				if hasPhi[y] == nil {
+					hasPhi[y] = map[ir.VarID]*ir.Instr{}
+				}
+				if _, ok := hasPhi[y][v]; ok {
+					continue
+				}
+				if !live.In(y).Has(int(v)) {
+					// Pruned SSA: a φ is only needed where the variable is
+					// live; this also guarantees every φ argument has a
+					// dominating definition.
+					hasPhi[y][v] = nil
+					continue
+				}
+				blk := f.Blocks[y]
+				phi := &ir.Instr{
+					Op:   ir.OpPhi,
+					Defs: []ir.VarID{v},
+					Uses: make([]ir.VarID, len(blk.Preds)),
+				}
+				for i := range phi.Uses {
+					phi.Uses[i] = v
+				}
+				blk.Phis = append(blk.Phis, phi)
+				hasPhi[y][v] = phi
+				if !onWork.Has(y) {
+					onWork.Add(y)
+					work = append(work, y)
+				}
+			}
+		}
+	}
+
+	// Renaming along the dominator tree.
+	r := &renamer{
+		f:      f,
+		dt:     dt,
+		stacks: make([][]ir.VarID, nOrig),
+		counts: make([]int, nOrig),
+		origOf: make([]ir.VarID, nOrig),
+	}
+	for i := range r.origOf {
+		r.origOf[i] = ir.VarID(i)
+	}
+	r.block(f.Entry().ID)
+	return dt, r.origOf
+}
+
+type renamer struct {
+	f      *ir.Func
+	dt     *dom.Tree
+	stacks [][]ir.VarID
+	counts []int // versions minted per original, for unique names
+	origOf []ir.VarID
+}
+
+func (r *renamer) fresh(orig ir.VarID) ir.VarID {
+	n := fmt.Sprintf("%s.%d", r.f.Vars[orig].Name, r.counts[orig])
+	r.counts[orig]++
+	nv := r.f.NewVar(n)
+	r.f.Vars[nv].Reg = r.f.Vars[orig].Reg
+	r.origOf = append(r.origOf, orig)
+	return nv
+}
+
+func (r *renamer) top(orig ir.VarID) ir.VarID {
+	st := r.stacks[orig]
+	if len(st) == 0 {
+		panic("ssa: use of " + r.f.Vars[orig].Name + " without dominating definition")
+	}
+	return st[len(st)-1]
+}
+
+func (r *renamer) block(bID int) {
+	b := r.f.Blocks[bID]
+	var pushed []ir.VarID
+
+	def := func(in *ir.Instr, i int) {
+		orig := in.Defs[i]
+		nv := r.fresh(orig)
+		r.stacks[orig] = append(r.stacks[orig], nv)
+		pushed = append(pushed, orig)
+		in.Defs[i] = nv
+	}
+	for _, in := range b.Phis {
+		def(in, 0)
+	}
+	for _, in := range b.Instrs {
+		for i, u := range in.Uses {
+			in.Uses[i] = r.top(u)
+		}
+		for i := range in.Defs {
+			def(in, i)
+		}
+	}
+	for _, s := range b.Succs {
+		pi := s.PredIndex(b)
+		for _, phi := range s.Phis {
+			orig := phi.Uses[pi]
+			if int(orig) < len(r.stacks) { // still an original name
+				phi.Uses[pi] = r.top(orig)
+			}
+		}
+	}
+	for _, c := range r.dt.Children(bID) {
+		r.block(c)
+	}
+	for i := len(pushed) - 1; i >= 0; i-- {
+		orig := pushed[i]
+		r.stacks[orig] = r.stacks[orig][:len(r.stacks[orig])-1]
+	}
+}
+
+// SortPhisByDef orders the φ-functions of every block by their defined
+// variable, giving deterministic iteration to the translator.
+func SortPhisByDef(f *ir.Func) {
+	for _, b := range f.Blocks {
+		sort.SliceStable(b.Phis, func(i, j int) bool {
+			return b.Phis[i].Defs[0] < b.Phis[j].Defs[0]
+		})
+	}
+}

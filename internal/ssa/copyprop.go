@@ -1,0 +1,139 @@
+package ssa
+
+import (
+	"repro/internal/dom"
+	"repro/internal/ir"
+)
+
+// PropagateCopies replaces every use of a copy destination with the copy's
+// ultimate source, i.e. rewrites each use of x into V(x). This is the
+// classic SSA copy-folding optimization; it preserves semantics but extends
+// the live range of the source across the (now dead) copies, which is
+// precisely what makes the SSA form non-conventional and a general
+// out-of-SSA translation necessary (paper, Section I).
+//
+// It returns the number of rewritten operands. Dead copies are left in
+// place; run EliminateDeadCode afterwards to drop them.
+func PropagateCopies(f *ir.Func, dt *dom.Tree) int {
+	return PropagateCopiesWhere(f, dt, func(ir.VarID) bool { return true })
+}
+
+// PropagateCopiesWhere is PropagateCopies restricted to uses for which
+// replace returns true. The workload generator uses it to fold only a
+// fraction of the copies, mimicking real optimizer output where some copies
+// survive (and giving the finer coalescing strategies of Figure 5 something
+// to distinguish themselves on).
+func PropagateCopiesWhere(f *ir.Func, dt *dom.Tree, replace func(use ir.VarID) bool) int {
+	vals := Values(f, dt)
+	rewritten := 0
+	repl := func(ops []ir.VarID) {
+		for i, u := range ops {
+			nv := vals[u]
+			if nv == u || !replace(u) {
+				continue
+			}
+			// Register-pinned variables are left alone: replacing a use of
+			// a pinned variable would drop the renaming constraint, and
+			// substituting a pinned source would stretch a physical
+			// register's live range across unrelated code.
+			if f.Vars[u].Reg != "" || f.Vars[nv].Reg != "" {
+				continue
+			}
+			ops[i] = nv
+			rewritten++
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Phis {
+			repl(in.Uses)
+		}
+		for _, in := range b.Instrs {
+			// Keep the copies themselves intact so that they stay copies of
+			// the representative value rather than self-copies.
+			if in.Op == ir.OpCopy || in.Op == ir.OpParCopy {
+				repl(in.Uses)
+				continue
+			}
+			repl(in.Uses)
+		}
+	}
+	return rewritten
+}
+
+// EliminateDeadCode removes side-effect-free instructions whose results are
+// unused, iterating until a fixpoint: dead copies left by PropagateCopies,
+// dead φ-functions, and dead straight-line computations. Terminators,
+// prints, and parameter loads for observable effects are kept (params are
+// pure and may be removed). Returns the number of removed definitions.
+func EliminateDeadCode(f *ir.Func) int {
+	removed := 0
+	for {
+		useCount := make([]int, len(f.Vars))
+		for _, b := range f.Blocks {
+			for _, in := range b.Phis {
+				for _, u := range in.Uses {
+					useCount[u]++
+				}
+			}
+			for _, in := range b.Instrs {
+				for _, u := range in.Uses {
+					useCount[u]++
+				}
+			}
+		}
+		changed := false
+		for _, b := range f.Blocks {
+			phis := b.Phis[:0]
+			for _, in := range b.Phis {
+				if useCount[in.Defs[0]] == 0 {
+					removed++
+					changed = true
+					continue
+				}
+				phis = append(phis, in)
+			}
+			b.Phis = phis
+			instrs := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				if dead, n := pruneDead(in, useCount); dead {
+					removed += n
+					changed = true
+					continue
+				}
+				instrs = append(instrs, in)
+			}
+			b.Instrs = instrs
+		}
+		if !changed {
+			return removed
+		}
+	}
+}
+
+// pruneDead reports whether in can be removed entirely; for parallel copies
+// it drops dead components in place and removes the instruction only when
+// none remain. n counts removed definitions.
+func pruneDead(in *ir.Instr, useCount []int) (dead bool, n int) {
+	switch in.Op {
+	case ir.OpConst, ir.OpParam, ir.OpCopy, ir.OpAdd, ir.OpSub, ir.OpMul,
+		ir.OpNeg, ir.OpCmpLT, ir.OpCmpEQ:
+		if useCount[in.Defs[0]] == 0 {
+			return true, 1
+		}
+	case ir.OpParCopy:
+		defs, uses := in.Defs[:0], in.Uses[:0]
+		for i, d := range in.Defs {
+			if useCount[d] == 0 {
+				n++
+				continue
+			}
+			defs = append(defs, d)
+			uses = append(uses, in.Uses[i])
+		}
+		in.Defs, in.Uses = defs, uses
+		if len(defs) == 0 {
+			return true, n
+		}
+	}
+	return false, n
+}

@@ -1,0 +1,48 @@
+package ssa
+
+import (
+	"repro/internal/dom"
+	"repro/internal/ir"
+)
+
+// Values computes the paper's "SSA value" V(x) of every variable
+// (Section III-A): walking the dominator tree in preorder, a copy b = a
+// (plain or a parallel-copy component) gives V(b) = V(a); any other
+// definition, φ-functions included, gives V(b) = b. Two variables with the
+// same value never interfere, no matter how their live ranges intersect.
+//
+// The value of a class is the variable whose definition dominates the
+// definitions of all other members, so V is idempotent: V(V(x)) = V(x).
+// Variables without a definition get themselves as value.
+func Values(f *ir.Func, dt *dom.Tree) []ir.VarID {
+	vals := make([]ir.VarID, len(f.Vars))
+	for i := range vals {
+		vals[i] = ir.VarID(i)
+	}
+	var walk func(bID int)
+	walk = func(bID int) {
+		b := f.Blocks[bID]
+		for _, in := range b.Phis {
+			vals[in.Defs[0]] = in.Defs[0]
+		}
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpCopy:
+				vals[in.Defs[0]] = vals[in.Uses[0]]
+			case ir.OpParCopy:
+				for i, d := range in.Defs {
+					vals[d] = vals[in.Uses[i]]
+				}
+			default:
+				for _, d := range in.Defs {
+					vals[d] = d
+				}
+			}
+		}
+		for _, c := range dt.Children(bID) {
+			walk(c)
+		}
+	}
+	walk(f.Entry().ID)
+	return vals
+}

@@ -1,0 +1,60 @@
+package ssa
+
+import (
+	"fmt"
+
+	"repro/internal/dom"
+	"repro/internal/ir"
+)
+
+// Verify checks strict SSA form: on top of the structural checks of
+// ir.Verify, every variable has at most one definition and every use is
+// dominated by its definition (φ uses by dominance of the corresponding
+// predecessor's exit).
+func Verify(f *ir.Func, dt *dom.Tree) error {
+	if err := ir.Verify(f); err != nil {
+		return err
+	}
+	var du *ir.DefUse
+	err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = fmt.Errorf("%v", r)
+			}
+		}()
+		du = ir.NewDefUse(f)
+		return nil
+	}()
+	if err != nil {
+		return err
+	}
+	for v := range f.Vars {
+		vid := ir.VarID(v)
+		if !du.HasDef(vid) {
+			if len(du.Uses(vid)) > 0 {
+				return fmt.Errorf("variable %s used but never defined", f.VarName(vid))
+			}
+			continue
+		}
+		db, ds := du.DefBlock(vid), du.DefSlot(vid)
+		for _, u := range du.Uses(vid) {
+			ub := int(u.Block)
+			if ub == db {
+				// Within a block: the definition must precede the use. A φ
+				// use sits at the block's very end (PhiUseSlot); same-slot
+				// operands (e.g. a parallel copy using its own target) are
+				// fine because all reads happen before writes.
+				if u.Slot < ds || (u.Slot == ds && u.Instr != du.DefInstr(vid)) {
+					return fmt.Errorf("use of %s in %s precedes its definition",
+						f.VarName(vid), f.Blocks[ub].Name)
+				}
+				continue
+			}
+			if !dt.Dominates(db, ub) {
+				return fmt.Errorf("use of %s in %s not dominated by definition in %s",
+					f.VarName(vid), f.Blocks[ub].Name, f.Blocks[db].Name)
+			}
+		}
+	}
+	return nil
+}

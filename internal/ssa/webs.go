@@ -1,0 +1,58 @@
+package ssa
+
+import "repro/internal/ir"
+
+// Webs groups the variables of f into φ-webs: the equivalence classes of
+// the transitive closure of "appears in the same φ-function". The SSA form
+// is conventional (CSSA) exactly when no two variables of a web interfere,
+// in which case every web can be given a single name and all φ-functions
+// removed (paper, Section II-A).
+//
+// The returned slice maps each variable to its web representative
+// (union-find root); variables not touching any φ map to themselves.
+func Webs(f *ir.Func) []ir.VarID {
+	parent := make([]ir.VarID, len(f.Vars))
+	for i := range parent {
+		parent[i] = ir.VarID(i)
+	}
+	var find func(x ir.VarID) ir.VarID
+	find = func(x ir.VarID) ir.VarID {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b ir.VarID) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, phi := range b.Phis {
+			for _, u := range phi.Uses {
+				union(phi.Defs[0], u)
+			}
+		}
+	}
+	for i := range parent {
+		parent[i] = find(ir.VarID(i))
+	}
+	return parent
+}
+
+// WebMembers inverts the representative map of Webs, returning only webs
+// with at least two members (singletons are uninteresting to CSSA checks).
+func WebMembers(webs []ir.VarID) map[ir.VarID][]ir.VarID {
+	out := map[ir.VarID][]ir.VarID{}
+	for v, r := range webs {
+		out[r] = append(out[r], ir.VarID(v))
+	}
+	for r, members := range out {
+		if len(members) < 2 {
+			delete(out, r)
+		}
+	}
+	return out
+}
