@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test vet bench ci figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchmem ./...
+
+figures:
+	$(GO) run ./cmd/ssabench -fig all
+
+ci: vet build test

@@ -10,6 +10,8 @@ package repro
 // paths and expose the headline metrics to `go test -bench`.
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -23,6 +25,7 @@ import (
 	"repro/internal/livecheck"
 	"repro/internal/liveness"
 	"repro/internal/parcopy"
+	"repro/internal/pipeline"
 	"repro/internal/sreedhar"
 	"repro/internal/ssa"
 )
@@ -118,6 +121,41 @@ func BenchmarkFig7(b *testing.B) {
 			b.ReportMetric(measured, "bytes-measured")
 			b.ReportMetric(ordered, "bytes-ordered-eval")
 			b.ReportMetric(bits, "bytes-bitset-eval")
+		})
+	}
+}
+
+// BenchmarkRunBatch sweeps worker counts over the synthetic workload,
+// demonstrating the batch driver's scaling: every worker count produces
+// identical translated IR and aggregate statistics; only wall-clock
+// changes. The copies-remaining metric doubles as a determinism witness
+// across the sub-benchmarks.
+func BenchmarkRunBatch(b *testing.B) {
+	fns := workload()
+	opt := core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}
+	pl := pipeline.Translate(opt)
+	seen := map[int]bool{}
+	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			var remaining int
+			for i := 0; i < b.N; i++ {
+				b.StopTimer() // cloning is not part of the translation cost
+				clones := make([]*ir.Func, len(fns))
+				for j, f := range fns {
+					clones[j] = ir.Clone(f)
+				}
+				b.StartTimer()
+				res := pipeline.RunBatch(clones, pl, w)
+				if err := res.Err(); err != nil {
+					b.Fatal(err)
+				}
+				remaining = res.Stats.RemainingCopies
+			}
+			b.ReportMetric(float64(remaining), "copies-remaining")
 		})
 	}
 }

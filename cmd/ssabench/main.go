@@ -7,7 +7,9 @@
 //	ssabench -fig all         # everything
 //
 // -scale shrinks or grows the workload; -weighted adds the
-// frequency-weighted companion of Figure 5.
+// frequency-weighted companion of Figure 5; -workers sets the batch
+// driver's worker pool for the untimed figures (0 = NumCPU; results are
+// identical for any worker count, only wall-clock changes).
 package main
 
 import (
@@ -23,8 +25,10 @@ func main() {
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
 	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
+	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = NumCPU)")
 	flag.Parse()
 
+	bench.Workers = *workers
 	suite := bench.Suite(*scale)
 	total := 0
 	for _, b := range suite {

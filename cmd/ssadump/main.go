@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
 
 var strategies = map[string]core.Strategy{
@@ -73,22 +74,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for i, f := range funcs {
-		if i > 0 {
-			fmt.Println()
-		}
-		orig := ir.Clone(f)
-		st, err := core.Translate(f, core.Options{
+	// Each function runs through the standard pass pipeline: SSA
+	// verification, then the four out-of-SSA phases over one shared
+	// analysis cache.
+	pl := pipeline.New(append([]pipeline.Pass{pipeline.VerifySSA()},
+		pipeline.OutOfSSA(core.Options{
 			Strategy:           s,
 			Virtualize:         *virtualize,
 			UseGraph:           *graph,
 			LiveCheck:          *livecheck,
 			Linear:             *linear,
 			KeepParallelCopies: *parallel,
-		})
+		})...)...)
+	for i, f := range funcs {
+		if i > 0 {
+			fmt.Println()
+		}
+		orig := ir.Clone(f)
+		ctx, err := pl.Run(f)
 		if err != nil {
 			log.Fatal(err)
 		}
+		st := ctx.Stats
 		fmt.Print(f)
 
 		if *stats {

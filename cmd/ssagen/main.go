@@ -6,22 +6,35 @@
 //	ssagen -raw                                       # before SSA construction
 //	ssagen | ssadump -strategy sharing -stats -run 3,4 -
 //
-// Output is deterministic for a given flag set.
+// The SSA path runs the raw generator output through the front half of the
+// pass pipeline — SSA construction, copy folding, verification — with
+// loop-derived block frequencies installed from the pipeline's cached
+// dominator tree. Output is deterministic for a given flag set. Note that
+// it differs from cfggen.Generate (the bench suite's path): the pipeline
+// folds every copy (-fold, on by default) rather than the generator's
+// random 70% fraction, and the per-function RNG streams diverge, so the
+// emitted functions are inspection samples of the same profile shape, not
+// the benchmark functions themselves.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log"
 
 	"repro/internal/cfggen"
+	"repro/internal/pipeline"
 )
 
 func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ssagen: ")
 	name := flag.String("name", "sample", "benchmark name (labels the functions)")
 	seed := flag.Int64("seed", 1, "generator seed")
 	funcs := flag.Int("funcs", 1, "number of functions")
 	stmts := flag.Int("stmts", 80, "maximum statement budget per function")
 	raw := flag.Bool("raw", false, "emit pre-SSA code (multiple assignments, no φs)")
+	fold := flag.Bool("fold", true, "apply SSA copy folding + DCE after construction")
 	flag.Parse()
 
 	p := cfggen.DefaultProfile(*name, *seed)
@@ -38,9 +51,28 @@ func main() {
 		}
 		return
 	}
-	for i, f := range cfggen.Generate(p) {
+
+	passes := []pipeline.Pass{pipeline.ConstructSSA()}
+	if *fold {
+		passes = append(passes, pipeline.CopyProp())
+	}
+	passes = append(passes,
+		pipeline.VerifySSA(),
+		pipeline.Pass{
+			Name: "install-frequencies",
+			Run: func(ctx *pipeline.Context) error {
+				cfggen.InstallFrequencies(ctx.Func, ctx.Cache.Dom())
+				return nil
+			},
+		},
+	)
+	pl := pipeline.New(passes...)
+	for i, f := range cfggen.GenerateRaw(p) {
 		if i > 0 {
 			fmt.Println()
+		}
+		if _, err := pl.Run(f); err != nil {
+			log.Fatalf("%s: %v", f.Name, err)
 		}
 		fmt.Print(f)
 	}

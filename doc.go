@@ -7,6 +7,9 @@
 // congruence classes, parallel-copy sequentialization, the Sreedhar
 // methods, a synthetic SPEC CINT2000 workload generator and an interpreter
 // used as a correctness oracle) each live in their own internal package.
-// cmd/ssabench regenerates the paper's Figures 5-7; cmd/ssadump translates
-// textual SSA functions. See README.md and DESIGN.md for the map.
+// internal/pipeline assembles everything into a pass pipeline over the
+// shared analysis cache of internal/analysis, with a concurrent batch
+// driver (pipeline.RunBatch) for whole function sets. cmd/ssabench
+// regenerates the paper's Figures 5-7; cmd/ssadump translates textual SSA
+// functions. See README.md and DESIGN.md for the map.
 package repro

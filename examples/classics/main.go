@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
 
 var cases = []struct {
@@ -133,10 +134,11 @@ func main() {
 			if s == core.SreedharIII {
 				opt = core.Options{Strategy: s, Virtualize: true, UseGraph: true}
 			}
-			st, err := core.Translate(f, opt)
+			ctx, err := pipeline.Translate(opt).Run(f)
 			if err != nil {
 				log.Fatal(err)
 			}
+			st := ctx.Stats
 			got, err := interp.Run(f, c.params, 100000)
 			if err != nil {
 				log.Fatalf("%s/%s: %v", c.name, s, err)
@@ -147,7 +149,7 @@ func main() {
 
 		// Show the code the recommended configuration produces.
 		f := ir.MustParse(c.src)
-		if _, err := core.Translate(f, core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}); err != nil {
+		if _, err := pipeline.Translate(core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}).Run(f); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ncode after translation (Sharing strategy):\n%s\n", f)

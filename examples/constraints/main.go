@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
 
 // Two call sites use the R0 argument register; the value y flows into both,
@@ -54,10 +55,11 @@ func main() {
 	fmt.Print(f)
 	fmt.Println("pins: argA,argB,retA → R0; retB → R1")
 
-	st, err := core.Translate(f, core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true})
+	ctx, err := pipeline.Translate(core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}).Run(f)
 	if err != nil {
 		log.Fatal(err)
 	}
+	st := ctx.Stats
 
 	fmt.Println("\n==== after translation ====")
 	fmt.Print(f)

@@ -1,29 +1,33 @@
 // Jitpipeline simulates the paper's deployment scenario: a JIT compiler
 // front end produces mutation-heavy, non-SSA code; the middle end builds
-// SSA, runs copy folding (which makes the form non-conventional); and the
-// back end translates out of SSA on the way to register allocation. The
-// paper's result is that the "Us I + Linear + InterCheck + LiveCheck"
-// configuration makes the out-of-SSA step fast and small enough for JIT
-// use, so that configuration is compared here against the Sreedhar III
-// baseline on the same functions.
+// SSA and runs copy folding (which makes the form non-conventional); and
+// the back end translates out of SSA on the way to register allocation.
+//
+// The whole back end is expressed as a pass pipeline — SSA verification,
+// the four out-of-SSA phases, linear-scan register allocation — sharing
+// one analysis cache per function, and the "method queue" is drained by
+// the concurrent batch driver: pipeline.RunBatch translates the queue on
+// a worker pool and produces exactly the IR and aggregate statistics of a
+// sequential run, only faster.
 package main
 
 import (
 	"fmt"
 	"log"
+	"runtime"
 	"time"
 
 	"repro/internal/cfggen"
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
-	"repro/internal/regalloc"
+	"repro/internal/pipeline"
 )
 
 func main() {
-	// A "method queue" of 40 medium-sized functions, as a JIT would see.
+	// A "method queue" of 120 medium-sized functions, as a JIT would see.
 	prof := cfggen.DefaultProfile("jit", 2026)
-	prof.Funcs = 40
+	prof.Funcs = 120
 	prof.MaxStmts = 160
 	queue := cfggen.Generate(prof)
 
@@ -37,29 +41,44 @@ func main() {
 			Strategy: core.Value, Linear: true, LiveCheck: true}},
 	}
 
+	// Per-configuration: drain the queue through the batch driver and
+	// compare the paper's headline numbers.
+	pool := []string{"R0", "R1", "r2", "r3", "r4", "r5", "r6", "r7"}
 	inputs := [][]int64{{0, 0}, {4, 9}, {-3, 14}}
 	for _, cfg := range configs {
-		var elapsed time.Duration
-		var copies, mem, phis int
-		for _, f := range queue {
-			clone := ir.Clone(f)
-			start := time.Now()
-			st, err := core.Translate(clone, cfg.opt)
-			elapsed += time.Since(start)
-			if err != nil {
-				log.Fatal(err)
-			}
-			copies += st.FinalCopies
-			phis += st.Phis
-			mem += st.GraphBytes + st.LiveSetBytes + st.LiveCheckBytes
+		backend := pipeline.New(append([]pipeline.Pass{pipeline.VerifySSA()},
+			append(pipeline.OutOfSSA(cfg.opt), pipeline.RegAlloc(pool))...)...)
 
-			// A JIT cannot tolerate miscompilation: check equivalence.
+		clones := make([]*ir.Func, len(queue))
+		for i, f := range queue {
+			clones[i] = ir.Clone(f)
+		}
+		start := time.Now()
+		res := pipeline.RunBatch(clones, backend, 0)
+		elapsed := time.Since(start)
+		if err := res.Err(); err != nil {
+			log.Fatal(err)
+		}
+
+		mem, spills, regs := 0, 0, 0
+		for _, ctx := range res.Contexts {
+			mem += ctx.Stats.GraphBytes + ctx.Stats.LiveSetBytes + ctx.Stats.LiveCheckBytes
+			spills += ctx.Alloc.Spills
+			if ctx.Alloc.RegsUsed > regs {
+				regs = ctx.Alloc.RegsUsed
+			}
+		}
+		fmt.Printf("%-40s  wall=%-10v  copies=%-5d  φ=%-5d  liveness+graph bytes=%-8d  spills=%d  max-regs=%d\n",
+			cfg.name, elapsed.Round(time.Millisecond), res.Stats.FinalCopies, res.Stats.Phis, mem, spills, regs)
+
+		// A JIT cannot tolerate miscompilation: spot-check equivalence.
+		for i, f := range queue {
 			for _, in := range inputs {
 				want, err := interp.Run(f, in, 200000)
 				if err != nil {
 					log.Fatal(err)
 				}
-				got, err := interp.Run(clone, in, 200000)
+				got, err := interp.Run(clones[i], in, 200000)
 				if err != nil {
 					log.Fatal(err)
 				}
@@ -68,32 +87,31 @@ func main() {
 				}
 			}
 		}
-		fmt.Printf("%-40s  time=%-10v  copies=%-5d  φ=%-5d  liveness+graph bytes=%d\n",
-			cfg.name, elapsed, copies, phis, mem)
 	}
-	fmt.Println("\nall translations verified observably equivalent on sample inputs")
+	fmt.Println("\nall translations verified observably equivalent; all allocations verified")
 
-	// Finish the back end: linear-scan register allocation over the
-	// translated code, with the calling-convention registers in the pool.
-	pool := []string{"R0", "R1", "r2", "r3", "r4", "r5", "r6", "r7"}
-	spills, regs := 0, 0
-	for _, f := range queue {
-		clone := ir.Clone(f)
-		if _, err := core.Translate(clone, configs[1].opt); err != nil {
+	// Batch-driver scaling: same pipeline, same queue, growing worker
+	// pools. The translated IR and aggregate statistics are identical for
+	// every worker count; only the wall-clock changes.
+	fmt.Printf("\nbatch-driver scaling over %d functions (recommended config):\n", len(queue))
+	opt := configs[1].opt
+	var baseline time.Duration
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		clones := make([]*ir.Func, len(queue))
+		for i, f := range queue {
+			clones[i] = ir.Clone(f)
+		}
+		start := time.Now()
+		res := pipeline.RunBatch(clones, pipeline.Translate(opt), workers)
+		elapsed := time.Since(start)
+		if err := res.Err(); err != nil {
 			log.Fatal(err)
 		}
-		res, err := regalloc.Allocate(clone, pool)
-		if err != nil {
-			log.Fatal(err)
+		if workers == 1 {
+			baseline = elapsed
 		}
-		if err := regalloc.Verify(clone, res); err != nil {
-			log.Fatalf("allocation invalid for %s: %v", clone.Name, err)
-		}
-		spills += res.Spills
-		if res.RegsUsed > regs {
-			regs = res.RegsUsed
-		}
+		fmt.Printf("  workers=%-3d wall=%-10v speedup=%.2fx  (copies=%d, φ=%d)\n",
+			workers, elapsed.Round(time.Millisecond),
+			float64(baseline)/float64(elapsed), res.Stats.FinalCopies, res.Stats.Phis)
 	}
-	fmt.Printf("linear-scan allocation over %d functions: max %d registers live, %d spills, all verified\n",
-		len(queue), regs, spills)
 }

@@ -12,6 +12,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/interp"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
 
 // A loop whose φ web is non-conventional: x2 and x3 overlap (the lost-copy
@@ -44,14 +45,18 @@ func main() {
 	fmt.Println("==== SSA input ====")
 	fmt.Print(f)
 
-	stats, err := core.Translate(f, core.Options{
+	// The translation runs as four pipeline passes (copy insertion,
+	// interference analyses, coalescing, rewrite) over a shared analysis
+	// cache — the same passes RunBatch drives over whole workloads.
+	ctx, err := pipeline.Translate(core.Options{
 		Strategy:  core.Value,
 		Linear:    true,
 		LiveCheck: true,
-	})
+	}).Run(f)
 	if err != nil {
 		log.Fatal(err)
 	}
+	stats := ctx.Stats
 
 	fmt.Println("\n==== after out-of-SSA translation ====")
 	fmt.Print(f)

@@ -1,0 +1,218 @@
+// Package analysis provides the shared, invalidation-aware analysis cache
+// of the pass pipeline. A Cache lazily computes and memoizes the expensive
+// substrates of the out-of-SSA translator — dominance, def-use, dataflow
+// liveness, the fast liveness checker, and the interference graph — keyed
+// per *ir.Func, and invalidates them with the IR's generation counters
+// (ir.Func.CFGGen/CodeGen):
+//
+//   - the dominator tree depends only on the block/edge structure, so it
+//     survives instruction-level rewriting (copy insertion, renaming);
+//   - def-use, liveness, the liveness checker, and the interference graph
+//     additionally depend on the instruction contents.
+//
+// A pass that mutates the IR but keeps an analysis consistent by hand (the
+// virtualized coalescer maintains the def-use index while it materializes
+// copies) declares so with Preserve, which revalidates the entry at the
+// current generations. Everything else goes stale automatically and is
+// recomputed on the next request.
+//
+// The Cache is not safe for concurrent use; the batch driver gives each
+// worker its own per-function cache.
+package analysis
+
+import (
+	"repro/internal/dom"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+)
+
+// Kind identifies one cached analysis.
+type Kind uint8
+
+const (
+	// Dom is the dominator tree (dom.Build).
+	Dom Kind = iota
+	// DefUse is the SSA def-use index (ir.NewDefUse).
+	DefUse
+	// Liveness is dataflow per-block liveness (liveness.ComputeWith).
+	Liveness
+	// LiveCheck is the CFG-only fast liveness checker (livecheck.New).
+	LiveCheck
+	// Graph is the interference bit matrix (interference.BuildGraph).
+	Graph
+	// NumKinds bounds the Kind space.
+	NumKinds
+)
+
+var kindNames = [...]string{
+	Dom:       "dom",
+	DefUse:    "defuse",
+	Liveness:  "liveness",
+	LiveCheck: "livecheck",
+	Graph:     "graph",
+}
+
+func (k Kind) String() string { return kindNames[k] }
+
+// gens snapshots the function generations an entry was computed at.
+type gens struct{ cfg, code uint64 }
+
+// Cache memoizes analyses for one function.
+type Cache struct {
+	f *ir.Func
+
+	dom   *dom.Tree
+	du    *ir.DefUse
+	live  *liveness.Info
+	lck   *livecheck.Checker
+	graph *interference.Graph
+
+	at      [NumKinds]gens
+	liveBE  liveness.Backend
+	graphMD interference.GraphMode
+
+	// Hits and Misses count, per analysis, requests served from the cache
+	// and requests that (re)computed. The pipeline tests assert on them.
+	Hits, Misses [NumKinds]uint64
+}
+
+// NewCache returns an empty cache for f.
+func NewCache(f *ir.Func) *Cache { return &Cache{f: f} }
+
+// Func returns the function the cache serves.
+func (c *Cache) Func() *ir.Func { return c.f }
+
+// now returns the function's current generations.
+func (c *Cache) now() gens { return gens{cfg: c.f.CFGGen(), code: c.f.CodeGen()} }
+
+// validCFG reports whether entry k was computed at the current CFG
+// generation (sufficient for CFG-only analyses).
+func (c *Cache) validCFG(k Kind) bool { return c.at[k].cfg == c.f.CFGGen() }
+
+// valid reports whether entry k matches both current generations.
+func (c *Cache) valid(k Kind) bool {
+	return c.at[k].cfg == c.f.CFGGen() && c.at[k].code == c.f.CodeGen()
+}
+
+// Dom returns the dominator tree, rebuilding it only when the block/edge
+// structure changed since it was computed.
+func (c *Cache) Dom() *dom.Tree {
+	if c.dom != nil && c.validCFG(Dom) {
+		c.Hits[Dom]++
+		return c.dom
+	}
+	c.Misses[Dom]++
+	c.dom = dom.Build(c.f)
+	c.at[Dom] = c.now()
+	return c.dom
+}
+
+// DefUse returns the def-use index of the current instructions.
+func (c *Cache) DefUse() *ir.DefUse {
+	if c.du != nil && c.valid(DefUse) {
+		c.Hits[DefUse]++
+		return c.du
+	}
+	c.Misses[DefUse]++
+	c.du = ir.NewDefUse(c.f)
+	c.at[DefUse] = c.now()
+	return c.du
+}
+
+// Liveness returns dataflow liveness with the requested backend. Asking for
+// a different backend than the cached one recomputes.
+func (c *Cache) Liveness(be liveness.Backend) *liveness.Info {
+	if c.live != nil && c.liveBE == be && c.valid(Liveness) {
+		c.Hits[Liveness]++
+		return c.live
+	}
+	c.Misses[Liveness]++
+	c.live = liveness.ComputeWith(c.f, be)
+	c.liveBE = be
+	c.at[Liveness] = c.now()
+	return c.live
+}
+
+// LiveCheck returns the fast liveness checker. Its construction pulls the
+// dominator tree and def-use index through the cache, so those requests
+// count as hits or misses of their own.
+func (c *Cache) LiveCheck() *livecheck.Checker {
+	if c.lck != nil && c.valid(LiveCheck) {
+		c.Hits[LiveCheck]++
+		return c.lck
+	}
+	c.Misses[LiveCheck]++
+	dt := c.Dom()
+	du := c.DefUse()
+	c.lck = livecheck.New(c.f, dt, du)
+	c.at[LiveCheck] = c.now()
+	return c.lck
+}
+
+// GraphWith returns the interference graph for the given mode, pulling
+// liveness sets (with the given backend) through the cache. vals is the
+// SSA value indexing of ssa.Values and must correspond to the current
+// code; a mode change recomputes, and IR mutation invalidates as usual.
+func (c *Cache) GraphWith(mode interference.GraphMode, vals []ir.VarID, be liveness.Backend) *interference.Graph {
+	if c.graph != nil && c.graphMD == mode && c.valid(Graph) {
+		c.Hits[Graph]++
+		return c.graph
+	}
+	c.Misses[Graph]++
+	live := c.Liveness(be)
+	c.graph = interference.BuildGraph(c.f, live, mode, vals)
+	c.graphMD = mode
+	c.at[Graph] = c.now()
+	return c.graph
+}
+
+// Preserve declares that the caller kept analysis k consistent across the
+// mutations it performed: the cached entry is revalidated at the current
+// generations. Preserving an analysis that was never computed is a no-op.
+func (c *Cache) Preserve(k Kind) {
+	if c.computed(k) {
+		c.at[k] = c.now()
+	}
+}
+
+// Invalidate drops analysis k regardless of generations.
+func (c *Cache) Invalidate(k Kind) {
+	switch k {
+	case Dom:
+		c.dom = nil
+	case DefUse:
+		c.du = nil
+	case Liveness:
+		c.live = nil
+	case LiveCheck:
+		c.lck = nil
+	case Graph:
+		c.graph = nil
+	}
+}
+
+// InvalidateAll drops every cached analysis.
+func (c *Cache) InvalidateAll() {
+	for k := Kind(0); k < NumKinds; k++ {
+		c.Invalidate(k)
+	}
+}
+
+// computed reports whether analysis k currently holds a value.
+func (c *Cache) computed(k Kind) bool {
+	switch k {
+	case Dom:
+		return c.dom != nil
+	case DefUse:
+		return c.du != nil
+	case Liveness:
+		return c.live != nil
+	case LiveCheck:
+		return c.lck != nil
+	case Graph:
+		return c.graph != nil
+	}
+	return false
+}

@@ -4,12 +4,17 @@
 package bench
 
 import (
-	"time"
-
 	"repro/internal/cfggen"
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
+
+// Workers is the worker count handed to pipeline.RunBatch for the untimed
+// figures (5 and 7); 0 selects runtime.NumCPU. The timed Figure 6 always
+// measures sequentially. Results are identical for any value — the batch
+// driver's aggregation is deterministic.
+var Workers = 0
 
 // Benchmark is one named workload of the suite.
 type Benchmark struct {
@@ -67,54 +72,21 @@ func Names(suite []Benchmark) []string {
 	return append(names, "sum")
 }
 
-// translate runs one configuration over a fresh clone of f.
-func translate(f *ir.Func, opt core.Options) *core.Stats {
-	st, err := core.Translate(ir.Clone(f), opt)
-	if err != nil {
-		panic("bench: " + f.Name + ": " + err.Error())
+// translateBatch pushes fresh clones of the benchmark's functions through
+// the out-of-SSA pipeline on the package worker pool, returning the
+// per-function stats (input order) and their aggregate.
+func translateBatch(b Benchmark, opt core.Options) ([]*core.Stats, core.Stats) {
+	clones := make([]*ir.Func, len(b.Funcs))
+	for i, f := range b.Funcs {
+		clones[i] = ir.Clone(f)
 	}
-	return st
-}
-
-// runSuite translates every function of every benchmark, returning the
-// per-benchmark aggregated stats and the wall-clock time spent inside the
-// translator only.
-func runSuite(suite []Benchmark, opt core.Options) ([]core.Stats, time.Duration) {
-	agg := make([]core.Stats, len(suite))
-	var elapsed time.Duration
-	for i, b := range suite {
-		for _, f := range b.Funcs {
-			clone := ir.Clone(f)
-			start := time.Now()
-			st, err := core.Translate(clone, opt)
-			elapsed += time.Since(start)
-			if err != nil {
-				panic("bench: " + f.Name + ": " + err.Error())
-			}
-			accumulate(&agg[i], st)
-		}
+	res := pipeline.RunBatch(clones, pipeline.Translate(opt), Workers)
+	if err := res.Err(); err != nil {
+		panic("bench: " + b.Name + ": " + err.Error())
 	}
-	return agg, elapsed
-}
-
-func accumulate(dst *core.Stats, st *core.Stats) {
-	dst.Blocks += st.Blocks
-	dst.Vars += st.Vars
-	dst.Phis += st.Phis
-	dst.Affinities += st.Affinities
-	dst.RemainingCopies += st.RemainingCopies
-	dst.RemainingWeight += st.RemainingWeight
-	dst.SharedRemoved += st.SharedRemoved
-	dst.FinalCopies += st.FinalCopies
-	dst.CycleCopies += st.CycleCopies
-	dst.SplitEdges += st.SplitEdges
-	dst.IntersectionTests += st.IntersectionTests
-	dst.MaterializedVars += st.MaterializedVars
-	dst.GraphBytes += st.GraphBytes
-	dst.GraphEval += st.GraphEval
-	dst.LiveSetBytes += st.LiveSetBytes
-	dst.LiveSetEval += st.LiveSetEval
-	dst.LiveSetBitEval += st.LiveSetBitEval
-	dst.LiveCheckBytes += st.LiveCheckBytes
-	dst.LiveCheckEval += st.LiveCheckEval
+	per := make([]*core.Stats, len(clones))
+	for i, ctx := range res.Contexts {
+		per[i] = ctx.Stats
+	}
+	return per, res.Stats
 }

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ir"
+	"repro/internal/pipeline"
 )
 
 // ---------------------------------------------------------------- Figure 5
@@ -47,11 +48,9 @@ func Fig5(suite []Benchmark) []Fig5Row {
 		counts := make([]float64, n)
 		weights := make([]float64, n)
 		for i, b := range suite {
-			for _, f := range b.Funcs {
-				st := translate(f, fig5Options(s))
-				counts[i] += float64(st.RemainingCopies)
-				weights[i] += st.RemainingWeight
-			}
+			_, agg := translateBatch(b, fig5Options(s))
+			counts[i] = float64(agg.RemainingCopies)
+			weights[i] = agg.RemainingWeight
 			counts[n-1] += counts[i]
 			weights[n-1] += weights[i]
 			row.Counts[i] = int(counts[i])
@@ -156,6 +155,7 @@ func Fig6(suite []Benchmark, reps int) []Fig6Row {
 	n := len(suite) + 1
 	for ci, cfg := range cfgs {
 		rows[ci] = Fig6Row{Config: cfg, Times: make([]time.Duration, n), Ratios: make([]float64, n)}
+		pl := pipeline.Translate(cfg.Opt)
 		for bi, b := range suite {
 			best := time.Duration(0)
 			for r := 0; r < reps; r++ {
@@ -163,7 +163,7 @@ func Fig6(suite []Benchmark, reps int) []Fig6Row {
 				for _, f := range b.Funcs {
 					clone := ir.Clone(f)
 					start := time.Now()
-					if _, err := core.Translate(clone, cfg.Opt); err != nil {
+					if _, err := pl.Run(clone); err != nil {
 						panic("bench: " + err.Error())
 					}
 					elapsed += time.Since(start)
@@ -224,8 +224,8 @@ func Fig7(suite []Benchmark) []Fig7Row {
 		row := &rows[ci]
 		row.Config = cfg
 		for _, b := range suite {
-			for _, f := range b.Funcs {
-				st := translate(f, cfg.Opt)
+			per, _ := translateBatch(b, cfg.Opt)
+			for _, st := range per {
 				meas := st.GraphBytes + st.LiveSetBytes + st.LiveCheckBytes
 				ord := st.GraphEval + st.LiveSetEval + st.LiveCheckEval
 				bit := st.GraphEval + st.LiveSetBitEval + st.LiveCheckEval

@@ -104,15 +104,15 @@ func Generate(p Profile) []*ir.Func {
 			ssa.EliminateDeadCode(f)
 		}
 		ssa.SortPhisByDef(f)
-		installFrequencies(f, dt)
+		InstallFrequencies(f, dt)
 		funcs = append(funcs, f)
 	}
 	return funcs
 }
 
-// installFrequencies sets each block's frequency to 10^loopdepth, the
+// InstallFrequencies sets each block's frequency to 10^loopdepth, the
 // classic static profile estimate the paper uses as coalescing weight.
-func installFrequencies(f *ir.Func, dt *dom.Tree) {
+func InstallFrequencies(f *ir.Func, dt *dom.Tree) {
 	depth := dt.LoopDepth()
 	for _, b := range f.Blocks {
 		fr := 1.0

@@ -26,9 +26,9 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/analysis"
 	"repro/internal/coalesce"
 	"repro/internal/congruence"
-	"repro/internal/dom"
 	"repro/internal/interference"
 	"repro/internal/ir"
 	"repro/internal/livecheck"
@@ -164,100 +164,214 @@ type Stats struct {
 	LiveCheckBytes, LiveCheckEval int
 }
 
-// Translate rewrites f, which must be in strict SSA form, into equivalent
-// φ-free standard code, returning the statistics of the run. f is mutated
-// in place.
-func Translate(f *ir.Func, opt Options) (*Stats, error) {
+// Accumulate adds every deterministic counter of st into dst. The wall-
+// clock fields (InsertNanos …) are per-translation diagnostics and are
+// deliberately excluded, so aggregates over a function set are identical
+// regardless of scheduling — the batch driver relies on this.
+func (dst *Stats) Accumulate(st *Stats) {
+	dst.Blocks += st.Blocks
+	dst.Vars += st.Vars
+	dst.Phis += st.Phis
+	dst.Affinities += st.Affinities
+	dst.RemainingCopies += st.RemainingCopies
+	dst.RemainingWeight += st.RemainingWeight
+	dst.SharedRemoved += st.SharedRemoved
+	dst.FinalCopies += st.FinalCopies
+	dst.CycleCopies += st.CycleCopies
+	dst.SplitEdges += st.SplitEdges
+	dst.CleanedBlocks += st.CleanedBlocks
+	dst.IntersectionTests += st.IntersectionTests
+	dst.MaterializedVars += st.MaterializedVars
+	dst.GraphBytes += st.GraphBytes
+	dst.GraphEval += st.GraphEval
+	dst.LiveSetBytes += st.LiveSetBytes
+	dst.LiveSetEval += st.LiveSetEval
+	dst.LiveSetBitEval += st.LiveSetBitEval
+	dst.LiveCheckBytes += st.LiveCheckBytes
+	dst.LiveCheckEval += st.LiveCheckEval
+}
+
+// Translation is an in-flight out-of-SSA translation of one function,
+// decomposed into the paper's four conceptual phases. Each phase is a
+// method so a pass manager can drive the phases as individual passes,
+// sharing the analyses through an invalidation-aware cache:
+//
+//	t, _ := NewTranslation(f, opt, cache)
+//	t.Insert(); t.Analyze(); t.Coalesce(); t.Rewrite()
+//
+// Translate runs all four back to back. The phases must run in order,
+// exactly once each; a phase called out of order returns an error.
+type Translation struct {
+	F     *ir.Func
+	Opt   Options
+	Stats *Stats
+	// An caches the analyses the phases consume. The Analyze phase warms
+	// dominance, def-use, and the liveness oracle; Coalesce and Rewrite
+	// pull them from the cache again (hits), and Coalesce revalidates the
+	// def-use index it maintains while materializing virtualized copies.
+	An *analysis.Cache
+
+	stage int // next phase to run: 0 insert, 1 analyze, 2 coalesce, 3 rewrite, 4 done
+
+	// Intermediates handed from phase to phase.
+	vals    []ir.VarID
+	live    *liveness.Info     // nil under LiveCheck
+	lck     *livecheck.Checker // nil unless LiveCheck
+	graph   *interference.Graph
+	ins     *sreedhar.Insertion
+	affs    []sreedhar.Affinity
+	chk     *interference.Checker
+	classes *congruence.Classes
+	res     *coalesce.Result
+}
+
+// NewTranslation validates opt and prepares a translation of f. an may be
+// nil, in which case a private cache is created; passing a shared cache
+// lets surrounding passes (SSA verification, register allocation) reuse
+// the same analyses.
+func NewTranslation(f *ir.Func, opt Options, an *analysis.Cache) (*Translation, error) {
 	if err := opt.Validate(); err != nil {
 		return nil, err
 	}
 	if opt.Strategy == SreedharIII {
 		opt.Virtualize = true
 	}
-	st := &Stats{}
-	phase := time.Now()
-	mark := func(dst *int64) {
-		now := time.Now()
-		*dst += now.Sub(phase).Nanoseconds()
-		phase = now
+	if an == nil {
+		an = analysis.NewCache(f)
 	}
+	return &Translation{F: f, Opt: opt, Stats: &Stats{}, An: an}, nil
+}
 
-	// Correctness pre-passes (Section II-A): normalize duplicate-pred edges
-	// and split edges whose φ argument is defined by the predecessor's
-	// terminator (the Br_dec case of Figure 2, where copy insertion alone
-	// cannot split the live range).
+// backend returns the liveness-set representation the options select.
+func (t *Translation) backend() liveness.Backend {
+	if t.Opt.OrderedSets {
+		return liveness.OrderedSets
+	}
+	return liveness.Bitsets
+}
+
+// enter checks phase ordering and starts the phase timer.
+func (t *Translation) enter(stage int, name string) (time.Time, error) {
+	if t.stage != stage {
+		return time.Time{}, fmt.Errorf("core: phase %s run out of order (stage %d)", name, t.stage)
+	}
+	t.stage++
+	return time.Now(), nil
+}
+
+// Insert is phase 1: the correctness pre-passes (Section II-A) plus copy
+// insertion — real parallel copies (Method I) or empty carriers for the
+// virtualized translation (Method III style).
+func (t *Translation) Insert() error {
+	start, err := t.enter(0, "insert")
+	if err != nil {
+		return err
+	}
+	f, st := t.F, t.Stats
+
+	// Normalize duplicate-pred edges and split edges whose φ argument is
+	// defined by the predecessor's terminator (the Br_dec case of Figure 2,
+	// where copy insertion alone cannot split the live range).
 	st.SplitEdges += len(sreedhar.SplitDuplicatePredEdges(f))
 	st.SplitEdges += len(sreedhar.SplitBranchDefEdges(f))
-	if opt.SplitCriticalEdges {
+	if t.Opt.SplitCriticalEdges {
 		st.SplitEdges += splitAllCritical(f)
 	}
 
-	dt := dom.Build(f)
 	for _, b := range f.Blocks {
 		st.Phis += len(b.Phis)
 	}
 	st.Blocks = len(f.Blocks)
 
-	var (
-		ins  *sreedhar.Insertion
-		err  error
-		affs []sreedhar.Affinity
-	)
-	if opt.Virtualize {
-		ins = &sreedhar.Insertion{
+	if t.Opt.Virtualize {
+		t.ins = &sreedhar.Insertion{
 			BeginCopies: make([]*ir.Instr, len(f.Blocks)),
 			EndCopies:   make([]*ir.Instr, len(f.Blocks)),
 		}
-		sreedhar.PrepareParallelCopies(f, ins)
+		sreedhar.PrepareParallelCopies(f, t.ins)
 	} else {
-		if ins, err = sreedhar.InsertCopies(f); err != nil {
-			return nil, err
+		if t.ins, err = sreedhar.InsertCopies(f); err != nil {
+			return err
 		}
 	}
+	// Copy insertion edits instruction lists in place (ir.InsertBefore has
+	// no *Func receiver to bump the counter itself).
+	f.MarkCodeMutated()
 
-	mark(&st.InsertNanos)
-	du := ir.NewDefUse(f)
-	vals := ssa.Values(f, dt)
+	st.InsertNanos += time.Since(start).Nanoseconds()
+	return nil
+}
 
-	var live *liveness.Info
-	var oracle interference.BlockLiveness
-	var lck *livecheck.Checker
-	if opt.LiveCheck {
-		lck = livecheck.New(f, dt, du)
-		oracle = lck
+// Analyze is phase 2: compute the substrates of the value-based
+// interference relation — dominance, def-use, SSA values, the liveness
+// oracle (dataflow sets or the fast checker), and, when requested, the
+// interference graph. Everything is pulled through the analysis cache so
+// later phases, and surrounding passes, share the results.
+func (t *Translation) Analyze() error {
+	start, err := t.enter(1, "analyze")
+	if err != nil {
+		return err
+	}
+	f := t.F
+
+	dt := t.An.Dom()
+	t.An.DefUse()
+	t.vals = ssa.Values(f, dt)
+	if t.Opt.LiveCheck {
+		t.lck = t.An.LiveCheck()
 	} else {
-		be := liveness.Bitsets
-		if opt.OrderedSets {
-			be = liveness.OrderedSets
-		}
-		live = liveness.ComputeWith(f, be)
-		oracle = live
+		t.live = t.An.Liveness(t.backend())
 	}
-	chk := &interference.Checker{F: f, DT: dt, DU: du, Live: oracle, Vals: vals}
-	classes := congruence.New(chk)
-	precoalescePinned(f, classes)
+	if t.Opt.UseGraph {
+		t.graph = t.An.GraphWith(graphMode(t.Opt.Strategy), t.vals, t.backend())
+	}
 
-	var graph *interference.Graph
-	if opt.UseGraph {
-		graph = interference.BuildGraph(f, live, graphMode(opt.Strategy), vals)
+	t.Stats.AnalyzeNanos += time.Since(start).Nanoseconds()
+	return nil
+}
+
+// oracle returns the block-liveness view phase 3 queries — the cache serves
+// the instance phase 2 computed.
+func (t *Translation) oracle() interference.BlockLiveness {
+	if t.Opt.LiveCheck {
+		return t.An.LiveCheck()
 	}
-	m := &coalesce.Machinery{Chk: chk, Classes: classes, Graph: graph, Linear: opt.Linear}
-	mark(&st.AnalyzeNanos)
+	return t.An.Liveness(t.backend())
+}
+
+// Coalesce is phase 3: aggressive coalescing of φ-related and
+// register-renaming copies alike, driven by affinity weights, with the
+// congruence classes answering interference queries through the cached
+// analyses. Under virtualization the φ copies are emulated and only the
+// ones that fail to coalesce are materialized; the def-use index is kept
+// consistent throughout and revalidated in the cache.
+func (t *Translation) Coalesce() error {
+	start, err := t.enter(2, "coalesce")
+	if err != nil {
+		return err
+	}
+	f, st, opt := t.F, t.Stats, t.Opt
+
+	t.chk = &interference.Checker{
+		F: f, DT: t.An.Dom(), DU: t.An.DefUse(), Live: t.oracle(), Vals: t.vals,
+	}
+	t.classes = congruence.New(t.chk)
+	precoalescePinned(f, t.classes)
+	m := &coalesce.Machinery{Chk: t.chk, Classes: t.classes, Graph: t.graph, Linear: opt.Linear}
 
 	// φ-nodes of Method I are coalesced by construction (Lemma 1).
 	if !opt.Virtualize {
-		for _, node := range ins.PhiNodes {
+		for _, node := range t.ins.PhiNodes {
 			for i := 1; i < len(node); i++ {
-				classes.MergeForced(node[0], node[i])
+				t.classes.MergeForced(node[0], node[i])
 			}
 		}
-		affs = append(affs, ins.Affinities...)
+		t.affs = append(t.affs, t.ins.Affinities...)
 	}
-	affs = append(affs, collectRealCopies(f, ins)...)
+	t.affs = append(t.affs, collectRealCopies(f, t.ins)...)
 
-	var res *coalesce.Result
 	if opt.Virtualize {
-		vz := &coalesce.Virtualizer{M: m, Ins: ins, Variant: engineVariant(opt.Strategy), Live: live}
+		vz := &coalesce.Virtualizer{M: m, Ins: t.ins, Variant: engineVariant(opt.Strategy), Live: t.live}
 		vres := vz.Run(f)
 		// Register-constraint and leftover copies: Sreedhar III complements
 		// virtualization with the SSA-based coalescing of Method I for
@@ -266,51 +380,89 @@ func Translate(f *ir.Func, opt Options) (*Stats, error) {
 		if opt.Strategy == SreedharIII {
 			nonPhi = coalesce.SreedharI
 		}
-		res = coalesce.Run(m, affs, nonPhi, false)
-		affs = append(affs, vres.Materialized...)
+		t.res = coalesce.Run(m, t.affs, nonPhi, false)
+		t.affs = append(t.affs, vres.Materialized...)
 		for range vres.Materialized {
-			res.Statuses = append(res.Statuses, coalesce.Remaining)
+			t.res.Statuses = append(t.res.Statuses, coalesce.Remaining)
 		}
 		st.MaterializedVars = len(vres.Materialized)
-		st.Affinities = len(affs) + vres.Removed
+		st.Affinities = len(t.affs) + vres.Removed
 	} else if opt.Strategy == Optimistic {
-		res = coalesce.RunOptimistic(m, affs)
-		st.Affinities = len(affs)
+		t.res = coalesce.RunOptimistic(m, t.affs)
+		st.Affinities = len(t.affs)
 	} else {
 		groupPhis := opt.Strategy == ValueIS || opt.Strategy == Sharing
-		res = coalesce.Run(m, affs, engineVariant(opt.Strategy), groupPhis)
-		st.Affinities = len(affs)
+		t.res = coalesce.Run(m, t.affs, engineVariant(opt.Strategy), groupPhis)
+		st.Affinities = len(t.affs)
 	}
 	if opt.Strategy == Sharing {
-		st.SharedRemoved = coalesce.Share(m, affs, res)
+		st.SharedRemoved = coalesce.Share(m, t.affs, t.res)
 	}
 
-	mark(&st.CoalesceNanos)
+	// Materialization minted fresh variables but kept the def-use index
+	// consistent (AddDef/AddUse); tell the cache the index is still good.
+	t.An.Preserve(analysis.DefUse)
+
+	st.CoalesceNanos += time.Since(start).Nanoseconds()
 
 	// Tally remaining copies (parallel pairs before sequentialization).
-	for i, s := range res.Statuses {
+	for i, s := range t.res.Statuses {
 		if s == coalesce.Remaining {
 			st.RemainingCopies++
-			st.RemainingWeight += affs[i].Weight
+			st.RemainingWeight += t.affs[i].Weight
 		}
 	}
+	return nil
+}
 
-	// Phase 4: leave CSSA — rename to class representatives, drop
-	// φ-functions and coalesced copies, sequentialize parallel copies.
-	rewrite(f, classes, du, affs, res.Statuses, opt.KeepParallelCopies, st)
+// Rewrite is phase 4: leave CSSA — rename to class representatives, drop
+// φ-functions and coalesced copies, sequentialize the remaining parallel
+// copies optimally, fold degenerate jump blocks back, and verify.
+func (t *Translation) Rewrite() error {
+	start, err := t.enter(3, "rewrite")
+	if err != nil {
+		return err
+	}
+	f, st := t.F, t.Stats
+
+	rewrite(f, t.classes, t.An.DefUse(), t.affs, t.res.Statuses, t.Opt.KeepParallelCopies, st)
+	f.MarkCodeMutated() // renaming edits operands in place
 
 	// Pessimistically split edges whose copies all coalesced away leave a
 	// lone jump behind; fold those blocks back.
 	st.CleanedBlocks = ir.CleanupJumpBlocks(f)
-	mark(&st.RewriteNanos)
+	st.RewriteNanos += time.Since(start).Nanoseconds()
 
 	st.Vars = len(f.Vars)
-	fillFootprint(st, f, graph, live, lck)
-	st.IntersectionTests = chk.Queries
+	fillFootprint(st, f, t.graph, t.live, t.lck)
+	st.IntersectionTests = t.chk.Queries
 	if err := ir.Verify(f); err != nil {
-		return st, fmt.Errorf("core: translated function fails verification: %w", err)
+		return fmt.Errorf("core: translated function fails verification: %w", err)
 	}
-	return st, nil
+	return nil
+}
+
+// Translate rewrites f, which must be in strict SSA form, into equivalent
+// φ-free standard code, returning the statistics of the run. f is mutated
+// in place.
+func Translate(f *ir.Func, opt Options) (*Stats, error) {
+	return TranslateWith(f, opt, nil)
+}
+
+// TranslateWith is Translate with a caller-provided analysis cache, so the
+// translation shares dominance, def-use, and liveness with surrounding
+// passes. an may be nil.
+func TranslateWith(f *ir.Func, opt Options, an *analysis.Cache) (*Stats, error) {
+	t, err := NewTranslation(f, opt, an)
+	if err != nil {
+		return nil, err
+	}
+	for _, phase := range []func() error{t.Insert, t.Analyze, t.Coalesce, t.Rewrite} {
+		if err := phase(); err != nil {
+			return t.Stats, err
+		}
+	}
+	return t.Stats, nil
 }
 
 // engineVariant maps a strategy to the class-level interference predicate.

@@ -287,17 +287,6 @@ func TestTranslatedHasNoPhis(t *testing.T) {
 	}
 }
 
-func TestOptionsValidate(t *testing.T) {
-	bad := Options{UseGraph: true, LiveCheck: true}
-	if err := bad.Validate(); err == nil {
-		t.Fatal("UseGraph+LiveCheck must be rejected")
-	}
-	bad = Options{Strategy: SreedharIII}
-	if err := bad.Validate(); err == nil {
-		t.Fatal("SreedharIII without Virtualize must be rejected")
-	}
-}
-
 // TestOptimisticStrategy: the Budimlić-style extension must preserve
 // semantics and land in the same quality neighbourhood as Value.
 func TestOptimisticStrategy(t *testing.T) {

@@ -55,6 +55,7 @@ func CleanupJumpBlocks(f *Func) int {
 	}
 	if removed > 0 {
 		compact(f)
+		f.MarkCFGMutated()
 	}
 	return removed
 }

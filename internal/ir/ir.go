@@ -175,12 +175,43 @@ func (b *Block) NumPoints() int { return len(b.Phis) + len(b.Instrs) }
 
 // Func is a function: a variable universe plus a CFG. Blocks[0] is the
 // entry block. Block IDs always equal their index in Blocks.
+//
+// Two monotonic generation counters track mutation so analyses can be
+// cached and invalidated precisely (the pass-manager protocol in
+// internal/analysis): cfgGen advances whenever the block/edge structure
+// changes, codeGen whenever instructions or the variable universe change.
+// A CFG mutation advances both — renumbering blocks invalidates every
+// instruction-level index too. The ir mutators below bump the counters
+// themselves; code that edits Blocks/Instrs/Defs/Uses slices directly must
+// call MarkCFGMutated or MarkCodeMutated to keep cached analyses honest.
 type Func struct {
 	Name      string
 	Blocks    []*Block
 	Vars      []*Var
 	NumParams int
+
+	cfgGen  uint64
+	codeGen uint64
 }
+
+// CFGGen returns the generation of the block/edge structure.
+func (f *Func) CFGGen() uint64 { return f.cfgGen }
+
+// CodeGen returns the generation of the instruction/variable contents.
+func (f *Func) CodeGen() uint64 { return f.codeGen }
+
+// MarkCFGMutated records a change to the block/edge structure. It also
+// advances the code generation: block removal or renumbering invalidates
+// instruction-level analyses such as def-use and liveness.
+func (f *Func) MarkCFGMutated() {
+	f.cfgGen++
+	f.codeGen++
+}
+
+// MarkCodeMutated records a change to instructions or variables that left
+// the block/edge structure intact (dominance stays valid, def-use and
+// liveness do not).
+func (f *Func) MarkCodeMutated() { f.codeGen++ }
 
 // NewFunc returns an empty function.
 func NewFunc(name string) *Func { return &Func{Name: name} }
@@ -192,6 +223,7 @@ func (f *Func) NewVar(name string) VarID {
 		name = fmt.Sprintf("v%d", id)
 	}
 	f.Vars = append(f.Vars, &Var{ID: id, Name: name})
+	f.MarkCodeMutated()
 	return id
 }
 
@@ -217,6 +249,7 @@ func (f *Func) NewBlock(name string) *Block {
 		b.Name = fmt.Sprintf("b%d", b.ID)
 	}
 	f.Blocks = append(f.Blocks, b)
+	f.MarkCFGMutated()
 	return b
 }
 

@@ -1,0 +1,110 @@
+package pipeline
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+// BatchResult aggregates one RunBatch run.
+type BatchResult struct {
+	// Stats sums the translation statistics of every successfully
+	// processed function, folded in input order; the wall-clock fields are
+	// excluded (see core.Stats.Accumulate), so the aggregate is identical
+	// for any worker count.
+	Stats core.Stats
+	// Contexts holds the final per-function contexts, index-aligned with
+	// the input; an entry whose pipeline failed still carries the partial
+	// context.
+	Contexts []*Context
+	// Errs is index-aligned with the input; nil entries succeeded.
+	Errs []error
+	// Workers is the worker count actually used.
+	Workers int
+}
+
+// Err joins the per-function failures in input order (nil when all
+// functions succeeded).
+func (r *BatchResult) Err() error {
+	var errs []error
+	for i, err := range r.Errs {
+		if err != nil {
+			errs = append(errs, fmt.Errorf("func %d: %w", i, err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// RunBatch pushes every function through its own run of the pipeline on a
+// pool of workers, mutating the functions in place. workers <= 0 selects
+// runtime.NumCPU(). Every function gets a private context and analysis
+// cache — that isolation is what makes the result deterministic: the
+// translated IR and the aggregate statistics are bit-identical to a
+// sequential run, because statistics are collected per index and folded
+// in input order after the pool drains, keeping float accumulation
+// independent of scheduling.
+func RunBatch(funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(funcs) {
+		workers = len(funcs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	res := &BatchResult{
+		Contexts: make([]*Context, len(funcs)),
+		Errs:     make([]error, len(funcs)),
+		Workers:  workers,
+	}
+
+	if workers == 1 {
+		for i, f := range funcs {
+			res.Contexts[i] = NewContext(f)
+			res.Errs[i] = runSafe(p, res.Contexts[i])
+		}
+	} else {
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					res.Contexts[i] = NewContext(funcs[i])
+					res.Errs[i] = runSafe(p, res.Contexts[i])
+				}
+			}()
+		}
+		for i := range funcs {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	for i := range funcs {
+		if res.Errs[i] == nil && res.Contexts[i].Stats != nil {
+			res.Stats.Accumulate(res.Contexts[i].Stats)
+		}
+	}
+	return res
+}
+
+// runSafe runs the pipeline on ctx, converting a panic (malformed input
+// tripping an internal invariant, e.g. non-SSA code reaching the def-use
+// indexer) into a per-function error so one bad function cannot take down
+// a whole batch.
+func runSafe(p *Pipeline, ctx *Context) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: panic: %v", r)
+		}
+	}()
+	return p.RunContext(ctx)
+}

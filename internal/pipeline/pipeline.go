@@ -1,0 +1,110 @@
+// Package pipeline is the pass architecture of the reproduction: a pass
+// manager that runs uniform Pass values over one function, a shared
+// invalidation-aware analysis cache (internal/analysis) each pass draws
+// its substrates from, and a concurrent batch driver (RunBatch) that
+// pushes many functions through the same pipeline on a worker pool.
+//
+// The paper's engineering point — out-of-SSA translation gets fast when
+// expensive substrates are replaced by cheap on-demand machinery — shows
+// up here as an architectural seam: dominance, def-use, liveness, the
+// fast liveness checker, and the interference graph are computed lazily,
+// memoized per function, invalidated by the IR's generation counters, and
+// revalidated by passes that declare what they preserve. SSA construction,
+// the four phases of the out-of-SSA translation, cleanup, and register
+// allocation are all passes over that cache.
+package pipeline
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+)
+
+// Cache is the shared analysis cache (see internal/analysis).
+type Cache = analysis.Cache
+
+// Context carries the per-function state a pipeline run threads through
+// its passes.
+type Context struct {
+	// Func is the function under transformation, mutated in place.
+	Func *ir.Func
+	// Cache memoizes the analyses; passes must request dominance, def-use,
+	// liveness, the liveness checker, and the interference graph through
+	// it rather than computing their own.
+	Cache *Cache
+
+	// Translation is the in-flight out-of-SSA translation, created by the
+	// insert pass and consumed by the analyze/coalesce/rewrite passes.
+	Translation *core.Translation
+	// Stats is set by the out-of-SSA rewrite pass.
+	Stats *core.Stats
+	// Alloc is set by the register-allocation pass.
+	Alloc *regalloc.Result
+	// SSAOrig, set by the SSA-construction pass, maps each SSA variable to
+	// the original variable it versions.
+	SSAOrig []ir.VarID
+	// CleanedBlocks counts blocks removed by the cleanup pass.
+	CleanedBlocks int
+}
+
+// NewContext returns a fresh context for f with an empty cache.
+func NewContext(f *ir.Func) *Context {
+	return &Context{Func: f, Cache: analysis.NewCache(f)}
+}
+
+// Pass is one uniform pipeline step.
+type Pass struct {
+	// Name identifies the pass in errors and diagnostics.
+	Name string
+	// Run transforms ctx.Func (or only reads it).
+	Run func(*Context) error
+	// Preserves lists the analyses the pass keeps consistent by hand even
+	// though it mutates the IR; the manager revalidates them in the cache
+	// after the pass ran. Analyses of untouched layers (e.g. the dominator
+	// tree across instruction-only rewriting) survive automatically via
+	// the IR generation counters and need not be listed.
+	Preserves []analysis.Kind
+}
+
+// Apply runs one pass on ctx and performs the cache bookkeeping the
+// manager owes it. Exposed so tests (and tools) can single-step a
+// pipeline while observing cache hit counts between passes.
+func Apply(ctx *Context, p Pass) error {
+	if err := p.Run(ctx); err != nil {
+		return fmt.Errorf("pipeline: pass %s: %w", p.Name, err)
+	}
+	for _, k := range p.Preserves {
+		ctx.Cache.Preserve(k)
+	}
+	return nil
+}
+
+// Pipeline is an ordered list of passes.
+type Pipeline struct {
+	passes []Pass
+}
+
+// New assembles a pipeline from the given passes.
+func New(passes ...Pass) *Pipeline { return &Pipeline{passes: passes} }
+
+// Passes returns the pipeline's passes in order.
+func (p *Pipeline) Passes() []Pass { return p.passes }
+
+// Run pushes f through the pipeline and returns the final context.
+func (p *Pipeline) Run(f *ir.Func) (*Context, error) {
+	ctx := NewContext(f)
+	return ctx, p.RunContext(ctx)
+}
+
+// RunContext pushes ctx.Func through the pipeline on an existing context.
+func (p *Pipeline) RunContext(ctx *Context) error {
+	for _, ps := range p.passes {
+		if err := Apply(ctx, ps); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+package pipeline
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/cfggen"
+	"repro/internal/core"
+	"repro/internal/interp"
+	"repro/internal/ir"
+)
+
+// workload generates a deterministic batch of SSA functions.
+func workload(t *testing.T, seed int64, n int) []*ir.Func {
+	t.Helper()
+	p := cfggen.DefaultProfile("pipe", seed)
+	p.Funcs = n
+	return cfggen.Generate(p)
+}
+
+func zeroNanos(st core.Stats) core.Stats {
+	st.InsertNanos, st.AnalyzeNanos, st.CoalesceNanos, st.RewriteNanos = 0, 0, 0, 0
+	return st
+}
+
+// TestPipelineMatchesTranslate: pushing a function through the decomposed
+// four-pass pipeline produces exactly the code and statistics of the
+// monolithic core.Translate.
+func TestPipelineMatchesTranslate(t *testing.T) {
+	opts := []core.Options{
+		{Strategy: core.Value, Linear: true, LiveCheck: true},
+		{Strategy: core.Sharing, Linear: true, LiveCheck: true},
+		{Strategy: core.SreedharIII, Virtualize: true, UseGraph: true, OrderedSets: true},
+		{Strategy: core.Value, Virtualize: true},
+		{Strategy: core.Chaitin, UseGraph: true},
+	}
+	for _, f := range workload(t, 7, 6) {
+		for _, opt := range opts {
+			a, b := ir.Clone(f), ir.Clone(f)
+			want, err := core.Translate(a, opt)
+			if err != nil {
+				t.Fatalf("%s: %v", f.Name, err)
+			}
+			ctx, err := Translate(opt).Run(b)
+			if err != nil {
+				t.Fatalf("%s: pipeline: %v", f.Name, err)
+			}
+			if a.String() != b.String() {
+				t.Fatalf("%s opt %+v: pipeline output differs from core.Translate:\n--- core\n%s--- pipeline\n%s",
+					f.Name, opt, a, b)
+			}
+			if zeroNanos(*want) != zeroNanos(*ctx.Stats) {
+				t.Fatalf("%s opt %+v: stats differ:\ncore:     %+v\npipeline: %+v",
+					f.Name, opt, zeroNanos(*want), zeroNanos(*ctx.Stats))
+			}
+		}
+	}
+}
+
+// TestRunBatchDeterministic is the batch-driver acceptance check: RunBatch
+// with N workers produces byte-identical translated IR and an identical
+// aggregate core.Stats to a sequential run over the same function set.
+func TestRunBatchDeterministic(t *testing.T) {
+	funcs := workload(t, 2026, 24)
+	opt := core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}
+
+	// Sequential reference through core.Translate directly.
+	seq := make([]*ir.Func, len(funcs))
+	var seqStats core.Stats
+	for i, f := range funcs {
+		seq[i] = ir.Clone(f)
+		st, err := core.Translate(seq[i], opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqStats.Accumulate(st)
+	}
+
+	for _, workers := range []int{1, 2, 4, 8} {
+		clones := make([]*ir.Func, len(funcs))
+		for i, f := range funcs {
+			clones[i] = ir.Clone(f)
+		}
+		res := RunBatch(clones, Translate(opt), workers)
+		if err := res.Err(); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range clones {
+			if got, want := clones[i].String(), seq[i].String(); got != want {
+				t.Fatalf("workers=%d func %d: IR differs from sequential run:\n--- sequential\n%s--- batch\n%s",
+					workers, i, want, got)
+			}
+		}
+		if zeroNanos(res.Stats) != zeroNanos(seqStats) {
+			t.Fatalf("workers=%d: aggregate stats differ:\nsequential: %+v\nbatch:      %+v",
+				workers, zeroNanos(seqStats), zeroNanos(res.Stats))
+		}
+	}
+}
+
+// hitDelta snapshots cache counters around one pass.
+type hitDelta struct {
+	hits, misses [analysis.NumKinds]uint64
+}
+
+func step(t *testing.T, ctx *Context, p Pass) hitDelta {
+	t.Helper()
+	var before hitDelta
+	before.hits, before.misses = ctx.Cache.Hits, ctx.Cache.Misses
+	if err := Apply(ctx, p); err != nil {
+		t.Fatalf("pass %s: %v", p.Name, err)
+	}
+	var d hitDelta
+	for k := range d.hits {
+		d.hits[k] = ctx.Cache.Hits[k] - before.hits[k]
+		d.misses[k] = ctx.Cache.Misses[k] - before.misses[k]
+	}
+	return d
+}
+
+// phiDiamond is an SSA function whose pre-passes split no edges, so the
+// dominator tree computed before copy insertion stays valid throughout.
+const phiDiamond = `
+func cachetest {
+entry:
+  x = param 0
+  zero = const 0
+  c = cmplt x zero
+  br c then else
+then:
+  one = const 1
+  a = add x one
+  jump join
+else:
+  two = const 2
+  b = add x two
+  c2 = copy b
+  jump join
+join:
+  y = phi then:a else:c2
+  print y
+  ret y
+}
+`
+
+// TestCacheServesPasses is the acceptance check for the shared analysis
+// cache: across the pipeline, dominance, liveness/livecheck, and def-use
+// are each computed once and then served to later passes from the cache —
+// at least three distinct passes receive cached analyses without
+// recomputation.
+func TestCacheServesPasses(t *testing.T) {
+	t.Run("livecheck-config", func(t *testing.T) {
+		f, err := ir.Parse(phiDiamond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := NewContext(f)
+		passes := append([]Pass{VerifySSA()},
+			OutOfSSA(core.Options{Strategy: core.Value, Linear: true, LiveCheck: true})...)
+
+		verify := step(t, ctx, passes[0])
+		insert := step(t, ctx, passes[1])
+		analyze := step(t, ctx, passes[2])
+		coalesce := step(t, ctx, passes[3])
+		rewrite := step(t, ctx, passes[4])
+		_ = insert
+
+		if verify.misses[analysis.Dom] != 1 {
+			t.Fatalf("verify-ssa must compute dom once, got %d", verify.misses[analysis.Dom])
+		}
+		// Copy insertion only touched instructions: the analyze pass is
+		// served the verify pass's dominator tree.
+		if analyze.misses[analysis.Dom] != 0 || analyze.hits[analysis.Dom] == 0 {
+			t.Fatalf("analyze recomputed dom: %+v", analyze)
+		}
+		if analyze.misses[analysis.LiveCheck] != 1 {
+			t.Fatalf("analyze must compute livecheck once, got %d", analyze.misses[analysis.LiveCheck])
+		}
+		// Coalescing queries dominance, def-use, and the liveness checker —
+		// all served from the cache.
+		if coalesce.misses != (hitDelta{}.misses) {
+			t.Fatalf("coalesce recomputed analyses: misses %v", coalesce.misses)
+		}
+		if coalesce.hits[analysis.Dom] == 0 || coalesce.hits[analysis.DefUse] == 0 || coalesce.hits[analysis.LiveCheck] == 0 {
+			t.Fatalf("coalesce not served from cache: hits %v", coalesce.hits)
+		}
+		// The rewrite pass reuses the def-use index one more time.
+		if rewrite.hits[analysis.DefUse] == 0 || rewrite.misses[analysis.DefUse] != 0 {
+			t.Fatalf("rewrite not served def-use from cache: %+v", rewrite)
+		}
+		// Across the whole pipeline each analysis was computed exactly
+		// once: dom (in verify-ssa, surviving copy insertion), def-use and
+		// livecheck (in analyze, after copy insertion).
+		if ctx.Cache.Misses[analysis.Dom] != 1 ||
+			ctx.Cache.Misses[analysis.LiveCheck] != 1 ||
+			ctx.Cache.Misses[analysis.DefUse] != 1 {
+			t.Fatalf("unexpected recomputation: misses %v", ctx.Cache.Misses)
+		}
+	})
+
+	t.Run("liveness-sets-config", func(t *testing.T) {
+		f, err := ir.Parse(phiDiamond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := NewContext(f)
+		passes := OutOfSSA(core.Options{Strategy: core.Value, Virtualize: true})
+
+		step(t, ctx, passes[0])
+		analyze := step(t, ctx, passes[1])
+		coalesce := step(t, ctx, passes[2])
+		rewrite := step(t, ctx, passes[3])
+
+		if analyze.misses[analysis.Liveness] != 1 {
+			t.Fatalf("analyze must compute liveness once, got %d", analyze.misses[analysis.Liveness])
+		}
+		// The virtualized coalescer is served the same liveness sets.
+		if coalesce.hits[analysis.Liveness] == 0 || coalesce.misses[analysis.Liveness] != 0 {
+			t.Fatalf("coalesce not served liveness from cache: %+v", coalesce)
+		}
+		// It materializes copies but maintains def-use, so rewrite is still
+		// served the cached index.
+		if rewrite.hits[analysis.DefUse] == 0 || rewrite.misses[analysis.DefUse] != 0 {
+			t.Fatalf("rewrite not served def-use from cache: %+v", rewrite)
+		}
+		if ctx.Cache.Misses[analysis.Liveness] != 1 {
+			t.Fatalf("liveness recomputed: misses %v", ctx.Cache.Misses)
+		}
+	})
+}
+
+// TestFullPipelineRawToRegalloc drives the whole stack — SSA construction,
+// copy folding, verification, out-of-SSA translation, cleanup, register
+// allocation — over raw (pre-SSA) functions through one pipeline, and
+// checks observable equivalence end to end.
+func TestFullPipelineRawToRegalloc(t *testing.T) {
+	p := cfggen.DefaultProfile("rawpipe", 99)
+	p.Funcs = 8
+	pool := []string{"R0", "R1", "r2", "r3", "r4", "r5", "r6", "r7"}
+	pl := New(append([]Pass{
+		ConstructSSA(),
+		CopyProp(),
+		VerifySSA(),
+	}, append(OutOfSSA(core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}),
+		Cleanup(),
+		RegAlloc(pool),
+	)...)...)
+
+	inputs := [][]int64{{0, 0}, {4, 9}, {-3, 14}}
+	for _, f := range cfggen.GenerateRaw(p) {
+		orig := ir.Clone(f)
+		ctx, err := pl.Run(f)
+		if err != nil {
+			t.Fatalf("%s: %v", f.Name, err)
+		}
+		if ctx.Stats == nil || ctx.Alloc == nil {
+			t.Fatalf("%s: pipeline did not publish stats/allocation", f.Name)
+		}
+		for _, in := range inputs {
+			want, err := interp.Run(orig, in, 500000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := interp.Run(f, in, 500000)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !interp.Equal(want, got) {
+				t.Fatalf("%s miscompiled on %v", f.Name, in)
+			}
+		}
+	}
+}
+
+// TestRunBatchCollectsErrors: a failing function does not abort the batch;
+// its error is reported at its index.
+func TestRunBatchCollectsErrors(t *testing.T) {
+	funcs := workload(t, 5, 3)
+	// Sabotage the middle function: SreedharIII without Virtualize is
+	// rejected by options validation at pipeline construction time, so
+	// instead make a function that is not in SSA form (double definition).
+	bad := ir.NewFunc("bad")
+	b := bad.NewBlock("entry")
+	v := bad.NewVar("x")
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpConst, Defs: []ir.VarID{v}, Aux: 1},
+		{Op: ir.OpConst, Defs: []ir.VarID{v}, Aux: 2},
+		{Op: ir.OpRet, Uses: []ir.VarID{v}},
+	}
+	all := []*ir.Func{funcs[0], bad, funcs[1]}
+	opt := core.Options{Strategy: core.Value, Linear: true, LiveCheck: true}
+
+	// NewDefUse panics on non-SSA input; the driver must turn that into a
+	// per-function error, not a crash.
+	res := RunBatch(all, Translate(opt), 2)
+	if res.Errs[0] != nil || res.Errs[2] != nil {
+		t.Fatalf("healthy functions failed: %v / %v", res.Errs[0], res.Errs[2])
+	}
+	if res.Errs[1] == nil {
+		t.Fatal("non-SSA function must fail")
+	}
+	if res.Err() == nil {
+		t.Fatal("BatchResult.Err must surface the failure")
+	}
+}

@@ -44,6 +44,14 @@ type Result struct {
 // variables require their architectural register to be in the pool. f must
 // be φ-free (translate out of SSA first).
 func Allocate(f *ir.Func, pool []string) (*Result, error) {
+	return AllocateWith(f, pool, liveness.Compute(f))
+}
+
+// AllocateWith is Allocate with caller-provided dataflow liveness, so one
+// liveness computation can be shared between interval construction and
+// Verify (or served by the pipeline's analysis cache). live must describe
+// the current instructions of f.
+func AllocateWith(f *ir.Func, pool []string, live *liveness.Info) (*Result, error) {
 	for _, b := range f.Blocks {
 		if len(b.Phis) != 0 {
 			return nil, fmt.Errorf("regalloc: %s still contains φ-functions", f.Name)
@@ -57,7 +65,7 @@ func Allocate(f *ir.Func, pool []string) (*Result, error) {
 		inPool[r] = true
 	}
 
-	intervals := buildIntervals(f)
+	intervals := buildIntervals(f, live)
 	for i := range intervals {
 		if p := f.Vars[intervals[i].Var].Reg; p != "" {
 			if !inPool[p] {
@@ -181,8 +189,7 @@ func Allocate(f *ir.Func, pool []string) (*Result, error) {
 
 // buildIntervals linearizes the blocks in their slice order and computes a
 // coarse [start, end] interval per variable from dataflow liveness.
-func buildIntervals(f *ir.Func) []Interval {
-	live := liveness.Compute(f)
+func buildIntervals(f *ir.Func, live *liveness.Info) []Interval {
 	start := make([]int32, len(f.Vars))
 	end := make([]int32, len(f.Vars))
 	seen := bitset.New(len(f.Vars))
@@ -225,13 +232,19 @@ func buildIntervals(f *ir.Func) []Interval {
 // two simultaneously live register-resident variables share a register, and
 // every pinned register-resident variable holds its architectural register.
 func Verify(f *ir.Func, res *Result) error {
+	return VerifyWith(f, res, liveness.Compute(f))
+}
+
+// VerifyWith is Verify with caller-provided liveness — the pipeline threads
+// the same liveness.Info through allocation and verification instead of
+// recomputing it for each.
+func VerifyWith(f *ir.Func, res *Result, live *liveness.Info) error {
 	for v, reg := range res.RegOf {
 		if p := f.Vars[v].Reg; p != "" && reg != "" && reg != p {
 			return fmt.Errorf("regalloc: %s pinned to %s but assigned %s",
 				f.VarName(ir.VarID(v)), p, reg)
 		}
 	}
-	live := liveness.Compute(f)
 	check := func(set *bitset.Set, where string) error {
 		held := map[string]ir.VarID{}
 		var err error

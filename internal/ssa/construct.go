@@ -29,7 +29,14 @@ import (
 // map from new variables to the original variable they version.
 func Construct(f *ir.Func) (*dom.Tree, []ir.VarID) {
 	dt := dom.Build(f)
-	live := liveness.Compute(f)
+	return dt, ConstructWith(f, dt, liveness.Compute(f))
+}
+
+// ConstructWith is Construct with caller-provided dominance and liveness
+// (both for the pre-SSA function), letting a pass manager serve them from
+// its analysis cache. Construction leaves the CFG untouched, so dt remains
+// valid for the rewritten function; liveness does not.
+func ConstructWith(f *ir.Func, dt *dom.Tree, live *liveness.Info) []ir.VarID {
 	nOrig := len(f.Vars)
 
 	// Definition sites and single-block usage, per original variable.
@@ -122,7 +129,7 @@ func Construct(f *ir.Func) (*dom.Tree, []ir.VarID) {
 		r.origOf[i] = ir.VarID(i)
 	}
 	r.block(f.Entry().ID)
-	return dt, r.origOf
+	return r.origOf
 }
 
 type renamer struct {

@@ -57,6 +57,9 @@ func PropagateCopiesWhere(f *ir.Func, dt *dom.Tree, replace func(use ir.VarID) b
 			repl(in.Uses)
 		}
 	}
+	if rewritten > 0 {
+		f.MarkCodeMutated()
+	}
 	return rewritten
 }
 
@@ -105,6 +108,9 @@ func EliminateDeadCode(f *ir.Func) int {
 			b.Instrs = instrs
 		}
 		if !changed {
+			if removed > 0 {
+				f.MarkCodeMutated()
+			}
 			return removed
 		}
 	}
