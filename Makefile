@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench ci figures
+.PHONY: build test vet bench race examples ci figures
 
 build:
 	$(GO) build ./...
@@ -14,7 +14,13 @@ vet:
 bench:
 	$(GO) test -bench . -benchmem ./...
 
+race:
+	$(GO) test -race ./...
+
+examples:
+	$(GO) build ./examples/...
+
 figures:
 	$(GO) run ./cmd/ssabench -fig all
 
-ci: vet build test
+ci: vet build test race examples

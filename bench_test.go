@@ -10,12 +10,12 @@ package repro
 // paths and expose the headline metrics to `go test -bench`.
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
-	"repro/internal/bench"
 	"repro/internal/coalesce"
 	"repro/internal/congruence"
 	"repro/internal/core"
@@ -28,6 +28,7 @@ import (
 	"repro/internal/pipeline"
 	"repro/internal/sreedhar"
 	"repro/internal/ssa"
+	"repro/outofssa/bench"
 )
 
 var (
@@ -149,7 +150,7 @@ func BenchmarkRunBatch(b *testing.B) {
 					clones[j] = ir.Clone(f)
 				}
 				b.StartTimer()
-				res := pipeline.RunBatch(clones, pl, w)
+				res := pipeline.RunBatch(context.Background(), clones, pl, w)
 				if err := res.Err(); err != nil {
 					b.Fatal(err)
 				}

@@ -2,6 +2,7 @@
 // synthetic SPEC CINT2000 stand-in suite:
 //
 //	ssabench -fig 5           # remaining copies per coalescing strategy
+//	ssabench -fig 5 -strategy sharing   # one strategy vs the Intersect baseline
 //	ssabench -fig 6 -reps 3   # translation speed per machinery combination
 //	ssabench -fig 7           # memory footprint per machinery combination
 //	ssabench -fig all         # everything
@@ -16,8 +17,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/bench"
+	"repro/outofssa"
+	"repro/outofssa/bench"
 )
 
 func main() {
@@ -26,7 +29,19 @@ func main() {
 	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
 	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
 	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = NumCPU)")
+	strategy := flag.String("strategy", "all",
+		"restrict figure 5 to one coalescing strategy: all, or one of "+strings.Join(outofssa.StrategyNames(), "|"))
 	flag.Parse()
+
+	strategies := outofssa.Strategies
+	if *strategy != "all" {
+		s, err := outofssa.ParseStrategy(*strategy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+			os.Exit(2)
+		}
+		strategies = []outofssa.Strategy{s}
+	}
 
 	bench.Workers = *workers
 	suite := bench.Suite(*scale)
@@ -38,25 +53,25 @@ func main() {
 
 	switch *fig {
 	case "5":
-		fig5(suite, *weighted)
+		fig5(suite, strategies, *weighted)
 	case "6":
 		fig6(suite, *reps)
 	case "7":
 		fig7(suite)
 	case "all":
-		fig5(suite, *weighted)
+		fig5(suite, strategies, *weighted)
 		fmt.Println()
 		fig6(suite, *reps)
 		fmt.Println()
 		fig7(suite)
 	default:
-		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		fmt.Fprintf(os.Stderr, "ssabench: unknown figure %q\n", *fig)
 		os.Exit(2)
 	}
 }
 
-func fig5(suite []bench.Benchmark, weighted bool) {
-	rows := bench.Fig5(suite)
+func fig5(suite []bench.Benchmark, strategies []outofssa.Strategy, weighted bool) {
+	rows := bench.Fig5For(suite, strategies)
 	fmt.Print(bench.FormatFig5(suite, rows, false))
 	if weighted {
 		fmt.Println()

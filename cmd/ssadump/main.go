@@ -3,7 +3,7 @@
 //
 //	ssadump [flags] file.ssa     # or - for stdin
 //
-//	-strategy   intersect|sreedhar1|chaitin|value|sreedhar3|valueis|sharing
+//	-strategy   coalescing strategy (see -help for the valid names)
 //	-virtualize emulate φ copies, materialize on demand (Method III style)
 //	-graph      use an interference graph (bit matrix)
 //	-livecheck  fast liveness checking instead of liveness sets
@@ -12,10 +12,12 @@
 //	-stats      print translation statistics
 //	-run        interpret before/after on comma-separated parameters
 //
-// The input grammar is documented on ir.Parse; see examples/ for samples.
+// The input grammar is documented on outofssa.Parse; see examples/ for
+// samples.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -24,26 +26,14 @@ import (
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/ir"
-	"repro/internal/pipeline"
+	"repro/outofssa"
 )
-
-var strategies = map[string]core.Strategy{
-	"intersect": core.Intersect,
-	"sreedhar1": core.SreedharI,
-	"chaitin":   core.Chaitin,
-	"value":     core.Value,
-	"sreedhar3": core.SreedharIII,
-	"valueis":   core.ValueIS,
-	"sharing":   core.Sharing,
-}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ssadump: ")
-	strategy := flag.String("strategy", "sharing", "coalescing strategy")
+	strategy := flag.String("strategy", "sharing",
+		"coalescing strategy: "+strings.Join(outofssa.StrategyNames(), "|"))
 	virtualize := flag.Bool("virtualize", false, "virtualize φ copies (Method III style)")
 	graph := flag.Bool("graph", false, "use an interference graph")
 	livecheck := flag.Bool("livecheck", true, "use fast liveness checking")
@@ -53,11 +43,12 @@ func main() {
 	run := flag.String("run", "", "interpret before/after with these comma-separated parameters")
 	flag.Parse()
 
-	s, ok := strategies[*strategy]
-	if !ok {
-		log.Fatalf("unknown strategy %q", *strategy)
+	s, err := outofssa.ParseStrategy(*strategy)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssadump: %v\n", err)
+		os.Exit(2)
 	}
-	if s == core.SreedharIII {
+	if s == outofssa.SreedharIII {
 		*virtualize = true
 		*graph = true
 		*livecheck = false
@@ -66,36 +57,37 @@ func main() {
 		*livecheck = false
 	}
 
+	tr, err := outofssa.New(
+		outofssa.WithStrategy(s),
+		outofssa.WithVirtualization(*virtualize),
+		outofssa.WithFastLiveness(*livecheck),
+		outofssa.WithInterferenceGraph(*graph),
+		outofssa.WithLinearClassTest(*linear),
+		outofssa.WithParallelCopies(*parallel),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	funcs, err := ir.ParseAll(src)
+	funcs, err := outofssa.ParseAll(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	// Each function runs through the standard pass pipeline: SSA
-	// verification, then the four out-of-SSA phases over one shared
-	// analysis cache.
-	pl := pipeline.New(append([]pipeline.Pass{pipeline.VerifySSA()},
-		pipeline.OutOfSSA(core.Options{
-			Strategy:           s,
-			Virtualize:         *virtualize,
-			UseGraph:           *graph,
-			LiveCheck:          *livecheck,
-			Linear:             *linear,
-			KeepParallelCopies: *parallel,
-		})...)...)
+	ctx := context.Background()
 	for i, f := range funcs {
 		if i > 0 {
 			fmt.Println()
 		}
-		orig := ir.Clone(f)
-		ctx, err := pl.Run(f)
+		orig := outofssa.Clone(f)
+		res, err := tr.Translate(ctx, f)
 		if err != nil {
 			log.Fatal(err)
 		}
-		st := ctx.Stats
+		st := res.Stats
 		fmt.Print(f)
 
 		if *stats {
@@ -108,17 +100,17 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			want, err := interp.Run(orig, params, 1_000_000)
+			want, err := outofssa.Interpret(orig, params, 1_000_000)
 			if err != nil {
 				log.Fatal(err)
 			}
-			got, err := interp.Run(f, params, 1_000_000)
+			got, err := outofssa.Interpret(f, params, 1_000_000)
 			if err != nil {
 				log.Fatal(err)
 			}
 			fmt.Fprintf(os.Stderr, "%s: before ret=%d trace=%v | after ret=%d trace=%v | equivalent=%v\n",
-				f.Name, want.Ret, want.Trace, got.Ret, got.Trace, interp.Equal(want, got))
-			if !interp.Equal(want, got) {
+				f.Name, want.Ret, want.Trace, got.Ret, got.Trace, outofssa.Equivalent(want, got))
+			if !outofssa.Equivalent(want, got) {
 				os.Exit(1)
 			}
 		}

@@ -4,13 +4,15 @@
 //
 //	ssagen -name 176.gcc -seed 176 -funcs 3           # SSA, copy-folded
 //	ssagen -raw                                       # before SSA construction
+//	ssagen -strategy sharing                          # translated out of SSA
 //	ssagen | ssadump -strategy sharing -stats -run 3,4 -
 //
 // The SSA path runs the raw generator output through the front half of the
 // pass pipeline — SSA construction, copy folding, verification — with
-// loop-derived block frequencies installed from the pipeline's cached
-// dominator tree. Output is deterministic for a given flag set. Note that
-// it differs from cfggen.Generate (the bench suite's path): the pipeline
+// loop-derived block frequencies installed (outofssa.BuildSSA). Passing
+// -strategy additionally translates each function out of SSA with that
+// strategy before printing. Output is deterministic for a given flag set.
+// Note that it differs from the bench suite's generation path: BuildSSA
 // folds every copy (-fold, on by default) rather than the generator's
 // random 70% fraction, and the per-function RNG streams diverge, so the
 // emitted functions are inspection samples of the same profile shape, not
@@ -18,12 +20,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"strings"
 
-	"repro/internal/cfggen"
-	"repro/internal/pipeline"
+	"repro/outofssa"
 )
 
 func main() {
@@ -35,15 +39,35 @@ func main() {
 	stmts := flag.Int("stmts", 80, "maximum statement budget per function")
 	raw := flag.Bool("raw", false, "emit pre-SSA code (multiple assignments, no φs)")
 	fold := flag.Bool("fold", true, "apply SSA copy folding + DCE after construction")
+	strategy := flag.String("strategy", "",
+		"translate out of SSA with this coalescing strategy before printing: "+
+			strings.Join(outofssa.StrategyNames(), "|"))
 	flag.Parse()
 
-	p := cfggen.DefaultProfile(*name, *seed)
+	var tr *outofssa.Translator
+	if *strategy != "" {
+		if *raw {
+			fmt.Fprintln(os.Stderr, "ssagen: -strategy needs SSA input; it cannot be combined with -raw")
+			os.Exit(2)
+		}
+		s, err := outofssa.ParseStrategy(*strategy)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssagen: %v\n", err)
+			os.Exit(2)
+		}
+		if tr, err = outofssa.New(outofssa.WithStrategy(s)); err != nil {
+			fmt.Fprintf(os.Stderr, "ssagen: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	p := outofssa.DefaultProfile(*name, *seed)
 	p.Funcs = *funcs
 	p.MaxStmts = *stmts
 	p.MinStmts = *stmts / 3
 	if *raw {
 		p.Propagate = false
-		for i, f := range cfggen.GenerateRaw(p) {
+		for i, f := range outofssa.GenerateRaw(p) {
 			if i > 0 {
 				fmt.Println()
 			}
@@ -52,27 +76,18 @@ func main() {
 		return
 	}
 
-	passes := []pipeline.Pass{pipeline.ConstructSSA()}
-	if *fold {
-		passes = append(passes, pipeline.CopyProp())
-	}
-	passes = append(passes,
-		pipeline.VerifySSA(),
-		pipeline.Pass{
-			Name: "install-frequencies",
-			Run: func(ctx *pipeline.Context) error {
-				cfggen.InstallFrequencies(ctx.Func, ctx.Cache.Dom())
-				return nil
-			},
-		},
-	)
-	pl := pipeline.New(passes...)
-	for i, f := range cfggen.GenerateRaw(p) {
+	ctx := context.Background()
+	for i, f := range outofssa.GenerateRaw(p) {
 		if i > 0 {
 			fmt.Println()
 		}
-		if _, err := pl.Run(f); err != nil {
+		if err := outofssa.BuildSSA(ctx, f, *fold); err != nil {
 			log.Fatalf("%s: %v", f.Name, err)
+		}
+		if tr != nil {
+			if _, err := tr.Translate(ctx, f); err != nil {
+				log.Fatalf("%s: %v", f.Name, err)
+			}
 		}
 		fmt.Print(f)
 	}

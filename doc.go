@@ -2,14 +2,20 @@
 // Correctness, Code Quality, and Efficiency" (Boissinot, Darte, Rastello,
 // Dupont de Dinechin, Guillon — CGO 2009) as a self-contained Go library.
 //
-// The paper's translator lives in internal/core; the substrates it depends
-// on (IR, dominance, liveness, fast liveness checking, interference,
-// congruence classes, parallel-copy sequentialization, the Sreedhar
-// methods, a synthetic SPEC CINT2000 workload generator and an interpreter
-// used as a correctness oracle) each live in their own internal package.
-// internal/pipeline assembles everything into a pass pipeline over the
-// shared analysis cache of internal/analysis, with a concurrent batch
-// driver (pipeline.RunBatch) for whole function sets. cmd/ssabench
-// regenerates the paper's Figures 5-7; cmd/ssadump translates textual SSA
-// functions. See README.md and DESIGN.md for the map.
+// The public surface is package repro/outofssa: a Translator built from
+// functional options, context-aware single and batch translation with
+// streaming per-function results, typed *PassError failures, the textual
+// IR parser, the interpreter oracle, and the synthetic workload
+// generator; repro/outofssa/bench regenerates the paper's Figures 5-7.
+//
+// The engine lives under internal/ and may change without notice: the
+// paper's translator in internal/core; its substrates (IR, dominance,
+// liveness, fast liveness checking, interference, congruence classes,
+// parallel-copy sequentialization, the Sreedhar methods, workload
+// generation, interpretation) each in their own package; and
+// internal/pipeline, which assembles everything into a pass pipeline over
+// the shared analysis cache of internal/analysis with a concurrent,
+// cancellable batch driver. cmd/ssabench regenerates the figures;
+// cmd/ssadump translates textual SSA functions; cmd/ssagen emits
+// generator output. See README.md and DESIGN.md for the map.
 package repro

@@ -6,13 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/ir"
-	"repro/internal/pipeline"
+	"repro/outofssa"
 )
 
 var cases = []struct {
@@ -119,37 +117,46 @@ b2:
 }
 
 func main() {
+	ctx := context.Background()
 	for _, c := range cases {
 		fmt.Printf("================ %s ================\n", c.name)
 		fmt.Printf("%s\n\n", c.desc)
-		ref := ir.MustParse(c.src)
-		want, err := interp.Run(ref, c.params, 100000)
+		ref := outofssa.MustParse(c.src)
+		want, err := outofssa.Interpret(ref, c.params, 100000)
 		if err != nil {
 			log.Fatal(err)
 		}
 
-		for _, s := range core.Strategies {
-			f := ir.MustParse(c.src)
-			opt := core.Options{Strategy: s, Linear: true, LiveCheck: true}
-			if s == core.SreedharIII {
-				opt = core.Options{Strategy: s, Virtualize: true, UseGraph: true}
+		for _, s := range outofssa.Strategies {
+			f := outofssa.MustParse(c.src)
+			opt := outofssa.Options{Strategy: s, Linear: true, LiveCheck: true}
+			if s == outofssa.SreedharIII {
+				opt = outofssa.Options{Strategy: s, Virtualize: true, UseGraph: true}
 			}
-			ctx, err := pipeline.Translate(opt).Run(f)
+			tr, err := outofssa.New(outofssa.WithOptions(opt))
 			if err != nil {
 				log.Fatal(err)
 			}
-			st := ctx.Stats
-			got, err := interp.Run(f, c.params, 100000)
+			res, err := tr.Translate(ctx, f)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := res.Stats
+			got, err := outofssa.Interpret(f, c.params, 100000)
 			if err != nil {
 				log.Fatalf("%s/%s: %v", c.name, s, err)
 			}
 			fmt.Printf("%-14s copies=%d cycle-breaks=%d splits=%d equivalent=%v\n",
-				s, st.FinalCopies, st.CycleCopies, st.SplitEdges, interp.Equal(want, got))
+				s, st.FinalCopies, st.CycleCopies, st.SplitEdges, outofssa.Equivalent(want, got))
 		}
 
 		// Show the code the recommended configuration produces.
-		f := ir.MustParse(c.src)
-		if _, err := pipeline.Translate(core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}).Run(f); err != nil {
+		f := outofssa.MustParse(c.src)
+		tr, err := outofssa.New(outofssa.WithStrategy(outofssa.Sharing))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := tr.Translate(ctx, f); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("\ncode after translation (Sharing strategy):\n%s\n", f)

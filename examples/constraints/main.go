@@ -6,12 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/ir"
-	"repro/internal/pipeline"
+	"repro/outofssa"
 )
 
 // Two call sites use the R0 argument register; the value y flows into both,
@@ -35,7 +34,7 @@ entry:
 `
 
 func main() {
-	f, err := ir.Parse(src)
+	f, err := outofssa.Parse(src)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -55,11 +54,15 @@ func main() {
 	fmt.Print(f)
 	fmt.Println("pins: argA,argB,retA → R0; retB → R1")
 
-	ctx, err := pipeline.Translate(core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}).Run(f)
+	tr, err := outofssa.New(outofssa.WithStrategy(outofssa.Sharing))
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := ctx.Stats
+	res, err := tr.Translate(context.Background(), f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := res.Stats
 
 	fmt.Println("\n==== after translation ====")
 	fmt.Print(f)

@@ -3,42 +3,41 @@
 // SSA and runs copy folding (which makes the form non-conventional); and
 // the back end translates out of SSA on the way to register allocation.
 //
-// The whole back end is expressed as a pass pipeline — SSA verification,
-// the four out-of-SSA phases, linear-scan register allocation — sharing
-// one analysis cache per function, and the "method queue" is drained by
-// the concurrent batch driver: pipeline.RunBatch translates the queue on
-// a worker pool and produces exactly the IR and aggregate statistics of a
-// sequential run, only faster.
+// The whole back end is driven through the public outofssa façade: a
+// Translator built from functional options (strategy machinery, a register
+// pool, a worker count) drains the "method queue" with TranslateAll — the
+// context-aware batch driver that produces exactly the IR and aggregate
+// statistics of a sequential run, only faster — and the scaling section
+// consumes per-function results as they complete via Stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"runtime"
 	"time"
 
-	"repro/internal/cfggen"
-	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/ir"
-	"repro/internal/pipeline"
+	"repro/outofssa"
 )
 
 func main() {
+	ctx := context.Background()
+
 	// A "method queue" of 120 medium-sized functions, as a JIT would see.
-	prof := cfggen.DefaultProfile("jit", 2026)
+	prof := outofssa.DefaultProfile("jit", 2026)
 	prof.Funcs = 120
 	prof.MaxStmts = 160
-	queue := cfggen.Generate(prof)
+	queue := outofssa.Generate(prof)
 
 	configs := []struct {
 		name string
-		opt  core.Options
+		opt  outofssa.Options
 	}{
-		{"Sreedhar III (baseline)", core.Options{
-			Strategy: core.SreedharIII, Virtualize: true, UseGraph: true, OrderedSets: true}},
-		{"Us I + Linear + InterCheck + LiveCheck", core.Options{
-			Strategy: core.Value, Linear: true, LiveCheck: true}},
+		{"Sreedhar III (baseline)", outofssa.Options{
+			Strategy: outofssa.SreedharIII, Virtualize: true, UseGraph: true, OrderedSets: true}},
+		{"Us I + Linear + InterCheck + LiveCheck", outofssa.Options{
+			Strategy: outofssa.Value, Linear: true, LiveCheck: true}},
 	}
 
 	// Per-configuration: drain the queue through the batch driver and
@@ -46,43 +45,48 @@ func main() {
 	pool := []string{"R0", "R1", "r2", "r3", "r4", "r5", "r6", "r7"}
 	inputs := [][]int64{{0, 0}, {4, 9}, {-3, 14}}
 	for _, cfg := range configs {
-		backend := pipeline.New(append([]pipeline.Pass{pipeline.VerifySSA()},
-			append(pipeline.OutOfSSA(cfg.opt), pipeline.RegAlloc(pool))...)...)
+		tr, err := outofssa.New(
+			outofssa.WithOptions(cfg.opt),
+			outofssa.WithRegisterPool(pool...),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
 
-		clones := make([]*ir.Func, len(queue))
+		clones := make([]*outofssa.Func, len(queue))
 		for i, f := range queue {
-			clones[i] = ir.Clone(f)
+			clones[i] = outofssa.Clone(f)
 		}
 		start := time.Now()
-		res := pipeline.RunBatch(clones, backend, 0)
+		batch, err := tr.TranslateAll(ctx, clones)
 		elapsed := time.Since(start)
-		if err := res.Err(); err != nil {
+		if err != nil {
 			log.Fatal(err)
 		}
 
 		mem, spills, regs := 0, 0, 0
-		for _, ctx := range res.Contexts {
-			mem += ctx.Stats.GraphBytes + ctx.Stats.LiveSetBytes + ctx.Stats.LiveCheckBytes
-			spills += ctx.Alloc.Spills
-			if ctx.Alloc.RegsUsed > regs {
-				regs = ctx.Alloc.RegsUsed
+		for _, r := range batch.Results {
+			mem += r.Stats.GraphBytes + r.Stats.LiveSetBytes + r.Stats.LiveCheckBytes
+			spills += r.Alloc.Spills
+			if r.Alloc.RegsUsed > regs {
+				regs = r.Alloc.RegsUsed
 			}
 		}
 		fmt.Printf("%-40s  wall=%-10v  copies=%-5d  φ=%-5d  liveness+graph bytes=%-8d  spills=%d  max-regs=%d\n",
-			cfg.name, elapsed.Round(time.Millisecond), res.Stats.FinalCopies, res.Stats.Phis, mem, spills, regs)
+			cfg.name, elapsed.Round(time.Millisecond), batch.Stats.FinalCopies, batch.Stats.Phis, mem, spills, regs)
 
 		// A JIT cannot tolerate miscompilation: spot-check equivalence.
 		for i, f := range queue {
 			for _, in := range inputs {
-				want, err := interp.Run(f, in, 200000)
+				want, err := outofssa.Interpret(f, in, 200000)
 				if err != nil {
 					log.Fatal(err)
 				}
-				got, err := interp.Run(clones[i], in, 200000)
+				got, err := outofssa.Interpret(clones[i], in, 200000)
 				if err != nil {
 					log.Fatal(err)
 				}
-				if !interp.Equal(want, got) {
+				if !outofssa.Equivalent(want, got) {
 					log.Fatalf("%s miscompiled %s on %v", cfg.name, f.Name, in)
 				}
 			}
@@ -90,28 +94,51 @@ func main() {
 	}
 	fmt.Println("\nall translations verified observably equivalent; all allocations verified")
 
-	// Batch-driver scaling: same pipeline, same queue, growing worker
+	// Batch-driver scaling: same configuration, same queue, growing worker
 	// pools. The translated IR and aggregate statistics are identical for
-	// every worker count; only the wall-clock changes.
+	// every worker count; only the wall-clock changes. Stream delivers each
+	// function as it completes — here the "downstream consumer" just tallies
+	// them while translation is still running.
 	fmt.Printf("\nbatch-driver scaling over %d functions (recommended config):\n", len(queue))
 	opt := configs[1].opt
 	var baseline time.Duration
+	seen := map[int]bool{}
 	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
-		clones := make([]*ir.Func, len(queue))
+		if seen[workers] {
+			continue
+		}
+		seen[workers] = true
+		tr, err := outofssa.New(
+			outofssa.WithOptions(opt),
+			outofssa.WithWorkers(workers),
+			outofssa.WithVerify(false),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clones := make([]*outofssa.Func, len(queue))
 		for i, f := range queue {
-			clones[i] = ir.Clone(f)
+			clones[i] = outofssa.Clone(f)
 		}
 		start := time.Now()
-		res := pipeline.RunBatch(clones, pipeline.Translate(opt), workers)
+		var agg outofssa.Stats
+		done := 0
+		for i, r := range tr.Stream(ctx, clones) {
+			if r.Err != nil {
+				log.Fatalf("func %d: %v", i, r.Err)
+			}
+			agg.Accumulate(r.Stats)
+			done++
+		}
 		elapsed := time.Since(start)
-		if err := res.Err(); err != nil {
-			log.Fatal(err)
+		if done != len(clones) {
+			log.Fatalf("stream delivered %d of %d results", done, len(clones))
 		}
 		if workers == 1 {
 			baseline = elapsed
 		}
 		fmt.Printf("  workers=%-3d wall=%-10v speedup=%.2fx  (copies=%d, φ=%d)\n",
 			workers, elapsed.Round(time.Millisecond),
-			float64(baseline)/float64(elapsed), res.Stats.FinalCopies, res.Stats.Phis)
+			float64(baseline)/float64(elapsed), agg.FinalCopies, agg.Phis)
 	}
 }

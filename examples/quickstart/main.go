@@ -2,17 +2,16 @@
 // paper's recommended configuration (value-based coalescing, linear class
 // interference test, fast liveness checking — "Us I + Linear + InterCheck +
 // LiveCheck"), and print the code before and after along with the
-// translation statistics.
+// translation statistics. Everything goes through the public outofssa
+// façade — no internal imports.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/interp"
-	"repro/internal/ir"
-	"repro/internal/pipeline"
+	"repro/outofssa"
 )
 
 // A loop whose φ web is non-conventional: x2 and x3 overlap (the lost-copy
@@ -36,27 +35,32 @@ exit:
 `
 
 func main() {
-	f, err := ir.Parse(src)
+	f, err := outofssa.Parse(src)
 	if err != nil {
 		log.Fatal(err)
 	}
-	orig := ir.Clone(f)
+	orig := outofssa.Clone(f)
 
 	fmt.Println("==== SSA input ====")
 	fmt.Print(f)
 
-	// The translation runs as four pipeline passes (copy insertion,
-	// interference analyses, coalescing, rewrite) over a shared analysis
-	// cache — the same passes RunBatch drives over whole workloads.
-	ctx, err := pipeline.Translate(core.Options{
-		Strategy:  core.Value,
-		Linear:    true,
-		LiveCheck: true,
-	}).Run(f)
+	// The Translator runs the translation as four pipeline passes (copy
+	// insertion, interference analyses, coalescing, rewrite) over a shared
+	// analysis cache — the same passes TranslateAll drives over whole
+	// workloads.
+	tr, err := outofssa.New(
+		outofssa.WithStrategy(outofssa.Value),
+		outofssa.WithLinearClassTest(true),
+		outofssa.WithFastLiveness(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	stats := ctx.Stats
+	res, err := tr.Translate(context.Background(), f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats := res.Stats
 
 	fmt.Println("\n==== after out-of-SSA translation ====")
 	fmt.Print(f)
@@ -68,15 +72,15 @@ func main() {
 
 	// The interpreter confirms the translation is observably equivalent.
 	for _, params := range [][]int64{{0}, {5}, {9}} {
-		want, err := interp.Run(orig, params, 10000)
+		want, err := outofssa.Interpret(orig, params, 10000)
 		if err != nil {
 			log.Fatal(err)
 		}
-		got, err := interp.Run(f, params, 10000)
+		got, err := outofssa.Interpret(f, params, 10000)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("param %2d → ret %d (trace %v), equivalent: %v\n",
-			params[0], got.Ret, got.Trace, interp.Equal(want, got))
+			params[0], got.Ret, got.Trace, outofssa.Equivalent(want, got))
 	}
 }

@@ -2,6 +2,7 @@ package ir
 
 import (
 	"fmt"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -29,8 +30,9 @@ import (
 // targets of several blocks receive predecessors in source order.
 func Parse(src string) (*Func, error) {
 	p := &parser{
-		vars:   map[string]VarID{},
-		blocks: map[string]*Block{},
+		vars:    map[string]VarID{},
+		blocks:  map[string]*Block{},
+		defined: map[string]bool{},
 	}
 	if err := p.run(src); err != nil {
 		return nil, err
@@ -93,7 +95,11 @@ type parser struct {
 	f      *Func
 	vars   map[string]VarID
 	blocks map[string]*Block
-	cur    *Block
+	// defined marks the labels that actually appeared; branch targets
+	// create blocks eagerly (forward references), so anything left in
+	// blocks but not in defined at the end is an undefined target.
+	defined map[string]bool
+	cur     *Block
 	// deferred edges: φ argument resolution needs final pred order, and
 	// pred order is fixed by edge creation order, so edges are created
 	// eagerly but φ lines are resolved at the end.
@@ -143,6 +149,16 @@ func (p *parser) run(src string) error {
 	if p.f == nil {
 		return fmt.Errorf("no function found")
 	}
+	var undefined []string
+	for name := range p.blocks {
+		if !p.defined[name] {
+			undefined = append(undefined, name)
+		}
+	}
+	if len(undefined) > 0 {
+		sort.Strings(undefined)
+		return fmt.Errorf("undefined block target(s): %s", strings.Join(undefined, ", "))
+	}
 	for _, fix := range p.phiFixups {
 		if err := p.fixPhi(fix); err != nil {
 			return err
@@ -184,6 +200,10 @@ func (p *parser) label(text string) error {
 		}
 		freq = v
 	}
+	if p.defined[name] {
+		return fmt.Errorf("duplicate label %q", name)
+	}
+	p.defined[name] = true
 	b := p.block(name)
 	b.Freq = freq
 	p.cur = b

@@ -1,6 +1,7 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -19,16 +20,21 @@ type BatchResult struct {
 	Stats core.Stats
 	// Contexts holds the final per-function contexts, index-aligned with
 	// the input; an entry whose pipeline failed still carries the partial
-	// context.
+	// context, and an entry the batch never dispatched (cancellation) is
+	// nil.
 	Contexts []*Context
-	// Errs is index-aligned with the input; nil entries succeeded.
+	// Errs is index-aligned with the input; nil entries succeeded. A pass
+	// failure is a *PassError; a function skipped because the batch was
+	// canceled carries the context's error.
 	Errs []error
 	// Workers is the worker count actually used.
 	Workers int
 }
 
-// Err joins the per-function failures in input order (nil when all
-// functions succeeded).
+// Err joins the per-function failures in input order with errors.Join
+// (nil when all functions succeeded). Pass failures are *PassError values
+// wrapped with their input index, so both errors.As(&passErr) and
+// errors.Is(err, context.Canceled) see through the combined error.
 func (r *BatchResult) Err() error {
 	var errs []error
 	for i, err := range r.Errs {
@@ -47,7 +53,22 @@ func (r *BatchResult) Err() error {
 // sequential run, because statistics are collected per index and folded
 // in input order after the pool drains, keeping float accumulation
 // independent of scheduling.
-func RunBatch(funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
+//
+// Cancelling ctx stops the dispatcher: a function already handed to a
+// worker stops at its next pass boundary with the context's error, and
+// functions never dispatched are marked with the context's error and a
+// nil Context.
+func RunBatch(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
+	return RunBatchFunc(ctx, funcs, p, workers, nil)
+}
+
+// RunBatchFunc is RunBatch with a streaming observer: report, when
+// non-nil, is invoked once per dispatched function as it completes, in
+// completion order, with the input index, the per-function context, and
+// its error. Calls are serialized (report needs no locking of its own)
+// but their order depends on scheduling; functions skipped by
+// cancellation are not reported.
+func RunBatchFunc(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers int, report func(int, *Context, error)) *BatchResult {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
@@ -62,11 +83,23 @@ func RunBatch(funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
 		Errs:     make([]error, len(funcs)),
 		Workers:  workers,
 	}
+	var reportMu sync.Mutex
+	done := func(i int) {
+		if report != nil {
+			reportMu.Lock()
+			report(i, res.Contexts[i], res.Errs[i])
+			reportMu.Unlock()
+		}
+	}
 
 	if workers == 1 {
 		for i, f := range funcs {
+			if ctx.Err() != nil {
+				break
+			}
 			res.Contexts[i] = NewContext(f)
-			res.Errs[i] = runSafe(p, res.Contexts[i])
+			res.Errs[i] = runSafe(ctx, p, res.Contexts[i])
+			done(i)
 		}
 	} else {
 		next := make(chan int)
@@ -77,34 +110,51 @@ func RunBatch(funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
 				defer wg.Done()
 				for i := range next {
 					res.Contexts[i] = NewContext(funcs[i])
-					res.Errs[i] = runSafe(p, res.Contexts[i])
+					res.Errs[i] = runSafe(ctx, p, res.Contexts[i])
+					done(i)
 				}
 			}()
 		}
 		for i := range funcs {
-			next <- i
+			if ctx.Err() != nil {
+				break
+			}
+			select {
+			case next <- i:
+			case <-ctx.Done():
+			}
 		}
 		close(next)
 		wg.Wait()
 	}
 
+	// Functions the dispatcher never handed out carry the cancellation
+	// cause at their index (a dispatched function always has a context,
+	// even when its pipeline failed).
+	if err := ctx.Err(); err != nil {
+		for i := range funcs {
+			if res.Contexts[i] == nil && res.Errs[i] == nil {
+				res.Errs[i] = err
+			}
+		}
+	}
+
 	for i := range funcs {
-		if res.Errs[i] == nil && res.Contexts[i].Stats != nil {
+		if res.Errs[i] == nil && res.Contexts[i] != nil && res.Contexts[i].Stats != nil {
 			res.Stats.Accumulate(res.Contexts[i].Stats)
 		}
 	}
 	return res
 }
 
-// runSafe runs the pipeline on ctx, converting a panic (malformed input
-// tripping an internal invariant, e.g. non-SSA code reaching the def-use
-// indexer) into a per-function error so one bad function cannot take down
-// a whole batch.
-func runSafe(p *Pipeline, ctx *Context) (err error) {
+// runSafe runs the pipeline on pctx; pass failures and pass panics arrive
+// as *PassError from Apply, and a panic outside any pass is still caught
+// here so one bad function cannot take down a whole batch.
+func runSafe(ctx context.Context, p *Pipeline, pctx *Context) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("pipeline: panic: %v", r)
 		}
 	}()
-	return p.RunContext(ctx)
+	return p.RunContext(ctx, pctx)
 }

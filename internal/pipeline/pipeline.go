@@ -15,6 +15,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/analysis"
@@ -22,6 +23,27 @@ import (
 	"repro/internal/ir"
 	"repro/internal/regalloc"
 )
+
+// PassError is the typed failure of one pass on one function. It is the
+// error value every pipeline entry point (Apply, Pipeline.Run, RunBatch)
+// returns for a pass failure, so callers — including the public outofssa
+// façade — can route on it with errors.As and still reach the underlying
+// cause through Unwrap/errors.Is.
+type PassError struct {
+	// Func is the name of the function the pass was running on.
+	Func string
+	// Pass is the Name of the failing pass.
+	Pass string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *PassError) Error() string {
+	return fmt.Sprintf("pipeline: func %s: pass %s: %v", e.Func, e.Pass, e.Err)
+}
+
+// Unwrap exposes the underlying failure to errors.Is/errors.As.
+func (e *PassError) Unwrap() error { return e.Err }
 
 // Cache is the shared analysis cache (see internal/analysis).
 type Cache = analysis.Cache
@@ -71,10 +93,18 @@ type Pass struct {
 
 // Apply runs one pass on ctx and performs the cache bookkeeping the
 // manager owes it. Exposed so tests (and tools) can single-step a
-// pipeline while observing cache hit counts between passes.
-func Apply(ctx *Context, p Pass) error {
+// pipeline while observing cache hit counts between passes. A failing
+// pass — and a panicking one (malformed input tripping an internal
+// invariant, e.g. non-SSA code reaching the def-use indexer) — comes back
+// as a *PassError naming the function and the pass.
+func Apply(ctx *Context, p Pass) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PassError{Func: ctx.Func.Name, Pass: p.Name, Err: fmt.Errorf("panic: %v", r)}
+		}
+	}()
 	if err := p.Run(ctx); err != nil {
-		return fmt.Errorf("pipeline: pass %s: %w", p.Name, err)
+		return &PassError{Func: ctx.Func.Name, Pass: p.Name, Err: err}
 	}
 	for _, k := range p.Preserves {
 		ctx.Cache.Preserve(k)
@@ -93,16 +123,23 @@ func New(passes ...Pass) *Pipeline { return &Pipeline{passes: passes} }
 // Passes returns the pipeline's passes in order.
 func (p *Pipeline) Passes() []Pass { return p.passes }
 
-// Run pushes f through the pipeline and returns the final context.
-func (p *Pipeline) Run(f *ir.Func) (*Context, error) {
-	ctx := NewContext(f)
-	return ctx, p.RunContext(ctx)
+// Run pushes f through the pipeline and returns the final context. ctx
+// cancellation is observed between passes: a canceled run returns the
+// context's error and leaves the function in whatever state the completed
+// passes produced.
+func (p *Pipeline) Run(ctx context.Context, f *ir.Func) (*Context, error) {
+	pctx := NewContext(f)
+	return pctx, p.RunContext(ctx, pctx)
 }
 
-// RunContext pushes ctx.Func through the pipeline on an existing context.
-func (p *Pipeline) RunContext(ctx *Context) error {
+// RunContext pushes pctx.Func through the pipeline on an existing
+// per-function context, checking ctx for cancellation before each pass.
+func (p *Pipeline) RunContext(ctx context.Context, pctx *Context) error {
 	for _, ps := range p.passes {
-		if err := Apply(ctx, ps); err != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := Apply(pctx, ps); err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,8 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/analysis"
@@ -41,7 +43,7 @@ func TestPipelineMatchesTranslate(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", f.Name, err)
 			}
-			ctx, err := Translate(opt).Run(b)
+			ctx, err := Translate(opt).Run(context.Background(), b)
 			if err != nil {
 				t.Fatalf("%s: pipeline: %v", f.Name, err)
 			}
@@ -81,7 +83,7 @@ func TestRunBatchDeterministic(t *testing.T) {
 		for i, f := range funcs {
 			clones[i] = ir.Clone(f)
 		}
-		res := RunBatch(clones, Translate(opt), workers)
+		res := RunBatch(context.Background(), clones, Translate(opt), workers)
 		if err := res.Err(); err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -249,7 +251,7 @@ func TestFullPipelineRawToRegalloc(t *testing.T) {
 	inputs := [][]int64{{0, 0}, {4, 9}, {-3, 14}}
 	for _, f := range cfggen.GenerateRaw(p) {
 		orig := ir.Clone(f)
-		ctx, err := pl.Run(f)
+		ctx, err := pl.Run(context.Background(), f)
 		if err != nil {
 			t.Fatalf("%s: %v", f.Name, err)
 		}
@@ -292,7 +294,7 @@ func TestRunBatchCollectsErrors(t *testing.T) {
 
 	// NewDefUse panics on non-SSA input; the driver must turn that into a
 	// per-function error, not a crash.
-	res := RunBatch(all, Translate(opt), 2)
+	res := RunBatch(context.Background(), all, Translate(opt), 2)
 	if res.Errs[0] != nil || res.Errs[2] != nil {
 		t.Fatalf("healthy functions failed: %v / %v", res.Errs[0], res.Errs[2])
 	}
@@ -301,5 +303,97 @@ func TestRunBatchCollectsErrors(t *testing.T) {
 	}
 	if res.Err() == nil {
 		t.Fatal("BatchResult.Err must surface the failure")
+	}
+}
+
+// TestRunBatchCancellation: cancelling the context mid-batch stops the
+// dispatcher. With one worker the order is deterministic: the functions
+// processed before the cancel succeed, the in-flight one stops at its next
+// pass boundary, and everything behind it is never dispatched.
+func TestRunBatchCancellation(t *testing.T) {
+	funcs := workload(t, 11, 16)
+	cctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	pl := New(append([]Pass{{
+		Name: "cancel-on-third",
+		Run: func(*Context) error {
+			if n++; n == 3 {
+				cancel()
+			}
+			return nil
+		},
+	}}, OutOfSSA(core.Options{Strategy: core.Value, Linear: true, LiveCheck: true})...)...)
+
+	res := RunBatch(cctx, funcs, pl, 1)
+	for i := 0; i < 2; i++ {
+		if res.Errs[i] != nil {
+			t.Fatalf("func %d failed: %v", i, res.Errs[i])
+		}
+	}
+	// The third function cancels during its own first pass and is cut off
+	// at the next pass boundary.
+	if !errors.Is(res.Errs[2], context.Canceled) || res.Contexts[2] == nil {
+		t.Fatalf("in-flight func: err=%v ctx=%v", res.Errs[2], res.Contexts[2])
+	}
+	for i := 3; i < len(funcs); i++ {
+		if !errors.Is(res.Errs[i], context.Canceled) {
+			t.Fatalf("func %d: want context.Canceled, got %v", i, res.Errs[i])
+		}
+		if res.Contexts[i] != nil {
+			t.Fatalf("func %d was dispatched after cancellation", i)
+		}
+	}
+	if !errors.Is(res.Err(), context.Canceled) {
+		t.Fatalf("combined error hides the cancellation: %v", res.Err())
+	}
+	if got := len(funcs) - 3; n != 3 {
+		t.Fatalf("ran %d functions, want 3 (skipped %d)", n, got)
+	}
+}
+
+// TestRunBatchStreams: the report callback sees every dispatched function
+// exactly once, index-aligned with the input.
+func TestRunBatchStreams(t *testing.T) {
+	funcs := workload(t, 13, 12)
+	opt := core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}
+	seen := make([]int, len(funcs))
+	res := RunBatchFunc(context.Background(), funcs, Translate(opt), 4, func(i int, pctx *Context, err error) {
+		seen[i]++
+		if err != nil || pctx == nil || pctx.Stats == nil {
+			t.Errorf("func %d reported err=%v ctx=%v", i, err, pctx)
+		}
+	})
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("func %d reported %d times", i, c)
+		}
+	}
+}
+
+// TestPassErrorTyped: a pass failure surfaces as a *PassError carrying the
+// function and pass names, reachable through BatchResult.Err with
+// errors.As.
+func TestPassErrorTyped(t *testing.T) {
+	bad := ir.NewFunc("badfunc")
+	b := bad.NewBlock("entry")
+	v := bad.NewVar("x")
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpConst, Defs: []ir.VarID{v}, Aux: 1},
+		{Op: ir.OpConst, Defs: []ir.VarID{v}, Aux: 2},
+		{Op: ir.OpRet, Uses: []ir.VarID{v}},
+	}
+	opt := core.Options{Strategy: core.Value, Linear: true, LiveCheck: true}
+	res := RunBatch(context.Background(), []*ir.Func{bad}, Translate(opt), 1)
+
+	var pe *PassError
+	if !errors.As(res.Err(), &pe) {
+		t.Fatalf("no *PassError in %v", res.Err())
+	}
+	if pe.Func != "badfunc" || pe.Pass == "" || pe.Err == nil {
+		t.Fatalf("PassError incomplete: %+v", pe)
 	}
 }

@@ -1,9 +1,14 @@
 // Package bench regenerates the paper's evaluation (Figures 5, 6 and 7) on
-// the synthetic SPEC CINT2000 stand-in suite of package cfggen. It is
-// shared by cmd/ssabench and the root testing.B benchmarks.
+// the synthetic SPEC CINT2000 stand-in suite of the workload generator. It
+// is shared by cmd/ssabench and the root testing.B benchmarks, and is part
+// of the public façade: its exported types use the aliases re-exported by
+// package outofssa (Strategy, Options, Stats, Func), so external consumers
+// never need an internal import.
 package bench
 
 import (
+	"context"
+
 	"repro/internal/cfggen"
 	"repro/internal/core"
 	"repro/internal/ir"
@@ -80,7 +85,7 @@ func translateBatch(b Benchmark, opt core.Options) ([]*core.Stats, core.Stats) {
 	for i, f := range b.Funcs {
 		clones[i] = ir.Clone(f)
 	}
-	res := pipeline.RunBatch(clones, pipeline.Translate(opt), Workers)
+	res := pipeline.RunBatch(context.Background(), clones, pipeline.Translate(opt), Workers)
 	if err := res.Err(); err != nil {
 		panic("bench: " + b.Name + ": " + err.Error())
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -35,10 +36,26 @@ func fig5Options(s core.Strategy) core.Options {
 // Fig5 reproduces Figure 5: the impact of interference accuracy and
 // coalescing strategy on the number of remaining moves.
 func Fig5(suite []Benchmark) []Fig5Row {
+	return Fig5For(suite, core.Strategies)
+}
+
+// Fig5For is Fig5 restricted to the given strategies. The Intersect
+// strategy is the paper's normalization baseline, so it is computed (and
+// reported first) even when absent from the request.
+func Fig5For(suite []Benchmark, strategies []core.Strategy) []Fig5Row {
+	if len(strategies) == 0 || strategies[0] != core.Intersect {
+		withBase := append([]core.Strategy{core.Intersect}, strategies...)
+		strategies = withBase[:1]
+		for _, s := range withBase[1:] {
+			if s != core.Intersect {
+				strategies = append(strategies, s)
+			}
+		}
+	}
 	n := len(suite) + 1 // + sum column
-	rows := make([]Fig5Row, 0, len(core.Strategies))
+	rows := make([]Fig5Row, 0, len(strategies))
 	var base, baseW []float64
-	for _, s := range core.Strategies {
+	for _, s := range strategies {
 		row := Fig5Row{
 			Strategy:     s,
 			Counts:       make([]int, n),
@@ -163,7 +180,7 @@ func Fig6(suite []Benchmark, reps int) []Fig6Row {
 				for _, f := range b.Funcs {
 					clone := ir.Clone(f)
 					start := time.Now()
-					if _, err := pl.Run(clone); err != nil {
+					if _, err := pl.Run(context.Background(), clone); err != nil {
 						panic("bench: " + err.Error())
 					}
 					elapsed += time.Since(start)
