@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures
+.PHONY: build test vet bench race examples ci figures bench-liveness
+
+# Scale of the liveness trajectory corpus; CI uses the short default, local
+# runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
+LIVENESS_SCALE ?= 0.05
 
 build:
 	$(GO) build ./...
@@ -22,5 +26,11 @@ examples:
 
 figures:
 	$(GO) run ./cmd/ssabench -fig all
+
+# Benchmark the worklist liveness engine against the pre-worklist baseline
+# on the synthetic large-CFG corpus and record the trajectory file CI
+# archives per run.
+bench-liveness:
+	$(GO) run ./cmd/ssabench -fig liveness -scale $(LIVENESS_SCALE) -out BENCH_liveness.json
 
 ci: vet build test race examples

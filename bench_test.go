@@ -202,6 +202,58 @@ func BenchmarkAblationClassInterference(b *testing.B) {
 	b.Run("Quadratic", func(b *testing.B) { run(b, false) })
 }
 
+var (
+	liveCorpusOnce sync.Once
+	liveCorpus     []bench.LivenessCase
+)
+
+// livenessWorkload returns the large-CFG corpus of the liveness trajectory
+// at a bench-friendly scale (still hundreds of blocks per function).
+func livenessWorkload() []bench.LivenessCase {
+	liveCorpusOnce.Do(func() { liveCorpus = bench.LivenessCorpus(0.1) })
+	return liveCorpus
+}
+
+// BenchmarkLiveness measures the worklist liveness engine against the
+// pre-worklist round-robin reference on the synthetic large-CFG corpus,
+// for both set backends — the testing.B twin of
+// `ssabench -fig liveness` / BENCH_liveness.json.
+func BenchmarkLiveness(b *testing.B) {
+	engines := []struct {
+		name string
+		run  func(*ir.Func, liveness.Backend) *liveness.Info
+	}{
+		{"Worklist", func(f *ir.Func, be liveness.Backend) *liveness.Info {
+			return liveness.ComputeWith(f, be)
+		}},
+		{"Reference", liveness.ComputeReference},
+	}
+	backends := []struct {
+		name string
+		be   liveness.Backend
+	}{
+		{"Bitsets", liveness.Bitsets},
+		{"Ordered", liveness.OrderedSets},
+	}
+	for _, eng := range engines {
+		for _, bk := range backends {
+			b.Run(eng.name+"/"+bk.name, func(b *testing.B) {
+				corpus := livenessWorkload()
+				b.ReportAllocs()
+				b.ResetTimer()
+				pops := 0
+				for i := 0; i < b.N; i++ {
+					pops = 0
+					for _, c := range corpus {
+						pops += eng.run(c.Func(), bk.be).Pops
+					}
+				}
+				b.ReportMetric(float64(pops), "fixpoint-pops")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationLiveness compares constructing dataflow liveness sets
 // (bit sets and ordered sets) against the CFG-only liveness checker.
 func BenchmarkAblationLiveness(b *testing.B) {

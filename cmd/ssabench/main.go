@@ -5,12 +5,22 @@
 //	ssabench -fig 5 -strategy sharing   # one strategy vs the Intersect baseline
 //	ssabench -fig 6 -reps 3   # translation speed per machinery combination
 //	ssabench -fig 7           # memory footprint per machinery combination
-//	ssabench -fig all         # everything
+//	ssabench -fig all         # every paper figure (5, 6 and 7)
 //
-// -scale shrinks or grows the workload; -weighted adds the
-// frequency-weighted companion of Figure 5; -workers sets the batch
-// driver's worker pool for the untimed figures (0 = NumCPU; results are
-// identical for any worker count, only wall-clock changes).
+// Beyond the paper's figures it records the engine's own perf trajectory
+// (a long-running benchmark, deliberately not part of -fig all):
+//
+//	ssabench -fig liveness -out BENCH_liveness.json
+//
+// benchmarks the worklist liveness engine against the pre-worklist
+// round-robin fixpoint on a synthetic large-CFG corpus (deep loops, wide
+// switch joins, dense φ pressure) and writes the machine-readable
+// trajectory file CI archives per run.
+//
+// -scale shrinks or grows the workload (the liveness corpus included);
+// -weighted adds the frequency-weighted companion of Figure 5; -workers
+// sets the batch driver's worker pool for the untimed figures (0 = NumCPU;
+// results are identical for any worker count, only wall-clock changes).
 package main
 
 import (
@@ -24,11 +34,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all (paper figures); liveness runs the perf trajectory instead")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
 	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
 	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = NumCPU)")
+	out := flag.String("out", "", "with -fig liveness: also write the trajectory as JSON to this file")
 	strategy := flag.String("strategy", "all",
 		"restrict figure 5 to one coalescing strategy: all, or one of "+strings.Join(outofssa.StrategyNames(), "|"))
 	flag.Parse()
@@ -44,6 +55,10 @@ func main() {
 	}
 
 	bench.Workers = *workers
+	if *fig == "liveness" {
+		figLiveness(*scale, *out) // has its own corpus; the SPEC suite is not needed
+		return
+	}
 	suite := bench.Suite(*scale)
 	total := 0
 	for _, b := range suite {
@@ -85,4 +100,26 @@ func fig6(suite []bench.Benchmark, reps int) {
 
 func fig7(suite []bench.Benchmark) {
 	fmt.Print(bench.FormatFig7(bench.Fig7(suite)))
+}
+
+func figLiveness(scale float64, out string) {
+	rep := bench.LivenessTrajectory(scale)
+	fmt.Print(bench.FormatLiveness(rep))
+	if out == "" {
+		return
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+		os.Exit(1)
+	}
+	werr := rep.WriteJSON(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr // a failed flush at close also corrupts the trajectory
+	}
+	if werr != nil {
+		fmt.Fprintf(os.Stderr, "ssabench: %v\n", werr)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", out)
 }

@@ -122,7 +122,11 @@ func (c *Cache) DefUse() *ir.DefUse {
 }
 
 // Liveness returns dataflow liveness with the requested backend. Asking for
-// a different backend than the cached one recomputes.
+// a different backend than the cached one recomputes. Every recomputation
+// draws its worklist scratch from the liveness package pool, so both the
+// repeated invalidations within one function's translation and a batch
+// worker translating thousands of functions reuse the same working-state
+// buffers instead of re-allocating them per run.
 func (c *Cache) Liveness(be liveness.Backend) *liveness.Info {
 	if c.live != nil && c.liveBE == be && c.valid(Liveness) {
 		c.Hits[Liveness]++

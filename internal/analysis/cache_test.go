@@ -155,3 +155,40 @@ func TestCacheLivenessBackendChange(t *testing.T) {
 		t.Fatalf("misses = %d, want 2", c.Misses[Liveness])
 	}
 }
+
+// TestCacheLivenessScratchReuse: recomputations after invalidation draw
+// pooled worklist scratch; reuse must never leak stale state between runs
+// — the recomputed sets must match a scratch-free reference computation.
+func TestCacheLivenessScratchReuse(t *testing.T) {
+	f := buildDiamond(t)
+	c := NewCache(f)
+
+	l1 := c.Liveness(liveness.Bitsets)
+	// Append "print x" before the terminator of join: x becomes live
+	// through both arms.
+	join := f.Blocks[3]
+	x := f.Vars[0].ID
+	term := join.Instrs[len(join.Instrs)-1]
+	join.Instrs = append(join.Instrs[:len(join.Instrs)-1],
+		&ir.Instr{Op: ir.OpPrint, Uses: []ir.VarID{x}}, term)
+	f.MarkCodeMutated()
+
+	l2 := c.Liveness(liveness.Bitsets)
+	if l2 == l1 {
+		t.Fatal("mutation must recompute liveness")
+	}
+	if !l2.LiveInBlock(x, join.ID) {
+		t.Fatal("recomputed liveness missed the new use")
+	}
+	// A fresh analysis agrees with the scratch-reusing one.
+	ref := liveness.ComputeReference(f, liveness.Bitsets)
+	for _, b := range f.Blocks {
+		for v := range f.Vars {
+			vid := ir.VarID(v)
+			if l2.LiveInBlock(vid, b.ID) != ref.LiveInBlock(vid, b.ID) ||
+				l2.LiveOutBlock(vid, b.ID) != ref.LiveOutBlock(vid, b.ID) {
+				t.Fatalf("scratch reuse corrupted results at %s/%s", b.Name, f.VarName(vid))
+			}
+		}
+	}
+}

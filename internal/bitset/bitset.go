@@ -43,8 +43,13 @@ func (s *Set) Grow(n int) {
 	s.n = n
 }
 
-// Add inserts i into the set.
+// Add inserts i into the set. Negative values are rejected with a panic:
+// silently accepting them would set an unrelated bit (i%64 of word 0), the
+// classic ir.NoVar-flows-into-a-set bug.
 func (s *Set) Add(i int) {
+	if i < 0 {
+		panic(fmt.Sprintf("bitset: Add(%d): negative element", i))
+	}
 	if i >= s.n {
 		s.Grow(i + 1)
 	}
@@ -65,6 +70,23 @@ func (s *Set) Has(i int) bool {
 		return false
 	}
 	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Reset clears the set and sets its capacity to exactly n bits, reusing
+// the backing array when it is large enough. Unlike Grow+Clear it also
+// shrinks, so a pooled set does not leak a previous, larger capacity into
+// sets it is unioned into.
+func (s *Set) Reset(n int) {
+	need := (n + wordBits - 1) / wordBits
+	if need > cap(s.words) {
+		s.words = make([]uint64, need)
+	} else {
+		s.words = s.words[:need]
+		for i := range s.words {
+			s.words[i] = 0
+		}
+	}
+	s.n = n
 }
 
 // Clear removes all elements, keeping capacity.
@@ -114,6 +136,27 @@ func (s *Set) UnionWith(t *Set) bool {
 	s.Grow(t.n)
 	changed := false
 	for i, w := range t.words {
+		old := s.words[i]
+		nw := old | w
+		if nw != old {
+			s.words[i] = nw
+			changed = true
+		}
+	}
+	return changed
+}
+
+// UnionWithAndNot adds every element of t that is not in u to s — the
+// dataflow transfer s |= t \ u — one word at a time, and reports whether s
+// changed. It is the live-in update in = in ∪ (out \ defs) without per-bit
+// callbacks.
+func (s *Set) UnionWithAndNot(t, u *Set) bool {
+	s.Grow(t.n)
+	changed := false
+	for i, w := range t.words {
+		if i < len(u.words) {
+			w &^= u.words[i]
+		}
 		old := s.words[i]
 		nw := old | w
 		if nw != old {

@@ -81,6 +81,80 @@ func fromInts(vals []uint16) *Set {
 	return s
 }
 
+func TestAddNegativePanics(t *testing.T) {
+	s := New(64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) must panic, not silently set bit 63 of word 0")
+		}
+		if s.Has(63) {
+			t.Fatal("Add(-1) corrupted the set before panicking")
+		}
+	}()
+	s.Add(-1)
+}
+
+func TestUnionWithAndNot(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		s, tt, u := New(130), New(130), New(130)
+		model := map[int]bool{}
+		for i := 0; i < 40; i++ {
+			v := rng.Intn(130)
+			switch rng.Intn(3) {
+			case 0:
+				s.Add(v)
+				model[v] = true
+			case 1:
+				tt.Add(v)
+			default:
+				u.Add(v)
+			}
+		}
+		before := map[int]bool{}
+		for k, v := range model {
+			before[k] = v
+		}
+		tt.ForEach(func(v int) {
+			if !u.Has(v) {
+				model[v] = true
+			}
+		})
+		changed := s.UnionWithAndNot(tt, u)
+		wantChanged := len(model) != len(before)
+		if changed != wantChanged {
+			t.Fatalf("trial %d: changed = %v, want %v", trial, changed, wantChanged)
+		}
+		for v := 0; v < 130; v++ {
+			if s.Has(v) != model[v] {
+				t.Fatalf("trial %d: element %d: got %v want %v", trial, v, s.Has(v), model[v])
+			}
+		}
+	}
+}
+
+func TestResetShrinksCapacity(t *testing.T) {
+	s := New(1000)
+	s.Add(900)
+	s.Reset(100)
+	if !s.Empty() || s.Len() != 100 {
+		t.Fatalf("Reset: len=%d empty=%v", s.Len(), s.Empty())
+	}
+	if s.Bytes() != 2*8 {
+		t.Fatalf("Reset must shrink the payload view: %d bytes", s.Bytes())
+	}
+	// A set unioned with a reset scratch must not inherit the old capacity.
+	d := New(100)
+	d.UnionWith(s)
+	if d.Bytes() != 2*8 {
+		t.Fatalf("union with reset scratch leaked capacity: %d bytes", d.Bytes())
+	}
+	s.Reset(2000)
+	if s.Len() != 2000 || !s.Empty() {
+		t.Fatal("Reset must also grow")
+	}
+}
+
 func TestSetAlgebraProperties(t *testing.T) {
 	// Union is commutative on membership; intersection is contained in both;
 	// difference removes exactly the other's elements.
@@ -283,5 +357,65 @@ func TestOrderedUnionWith(t *testing.T) {
 	}
 	if a.UnionWith(b) {
 		t.Fatal("second union should be a no-op")
+	}
+}
+
+// TestOrderedMergeOpsMatchModel drives the merge-based unions (UnionWith,
+// UnionSorted, UnionWithAndNot) against a per-element model.
+func TestOrderedMergeOpsMatchModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 300; trial++ {
+		o := NewOrdered(0)
+		src := NewOrdered(0)
+		excl := New(150)
+		model := map[int]bool{}
+		for i := 0; i < 30; i++ {
+			v := rng.Intn(150)
+			switch rng.Intn(3) {
+			case 0:
+				o.Add(v)
+				model[v] = true
+			case 1:
+				src.Add(v)
+			default:
+				excl.Add(v)
+			}
+		}
+		sizeBefore := o.Len()
+		var changed bool
+		switch trial % 3 {
+		case 0:
+			changed = o.UnionWith(src)
+			src.ForEach(func(v int) { model[v] = true })
+		case 1:
+			var sorted []int32
+			src.ForEach(func(v int) { sorted = append(sorted, int32(v)) })
+			changed = o.UnionSorted(sorted)
+			src.ForEach(func(v int) { model[v] = true })
+		default:
+			changed = o.UnionWithAndNot(src, excl)
+			src.ForEach(func(v int) {
+				if !excl.Has(v) {
+					model[v] = true
+				}
+			})
+		}
+		if changed != (o.Len() != sizeBefore) {
+			t.Fatalf("trial %d: changed = %v but size %d -> %d", trial, changed, sizeBefore, o.Len())
+		}
+		if o.Len() != len(model) {
+			t.Fatalf("trial %d: len %d, model %d", trial, o.Len(), len(model))
+		}
+		prev := -1
+		bad := false
+		o.ForEach(func(v int) {
+			if !model[v] || v <= prev {
+				bad = true
+			}
+			prev = v
+		})
+		if bad {
+			t.Fatalf("trial %d: elements unsorted or out of model: %v", trial, o.Elems())
+		}
 	}
 }

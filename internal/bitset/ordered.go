@@ -45,15 +45,63 @@ func (o *Ordered) Remove(v int) bool {
 	return true
 }
 
-// UnionWith adds all elements of t; reports whether the set changed.
+// UnionWith adds all elements of t with a linear two-pointer merge;
+// reports whether the set changed. (Still an ordered-set algorithm — the
+// paper's representation — just not a quadratic one.)
 func (o *Ordered) UnionWith(t *Ordered) bool {
-	changed := false
-	for _, v := range t.elems {
-		if o.Add(int(v)) {
-			changed = true
+	return o.unionSorted(t.elems, nil)
+}
+
+// UnionSorted adds the elements of the sorted, duplicate-free slice elems;
+// reports whether the set changed. The slice is not retained.
+func (o *Ordered) UnionSorted(elems []int32) bool {
+	return o.unionSorted(elems, nil)
+}
+
+// UnionWithAndNot adds every element of t that is not in excl — the
+// dataflow transfer o |= t \ excl — and reports whether o changed.
+func (o *Ordered) UnionWithAndNot(t *Ordered, excl *Set) bool {
+	return o.unionSorted(t.elems, excl)
+}
+
+// unionSorted merges the sorted slice src into o, skipping elements present
+// in excl (which may be nil). A first two-pointer scan counts the missing
+// elements so the no-change case allocates nothing.
+func (o *Ordered) unionSorted(src []int32, excl *Set) bool {
+	missing := 0
+	i := 0
+	for _, v := range src {
+		if excl != nil && excl.Has(int(v)) {
+			continue
+		}
+		for i < len(o.elems) && o.elems[i] < v {
+			i++
+		}
+		if i >= len(o.elems) || o.elems[i] != v {
+			missing++
 		}
 	}
-	return changed
+	if missing == 0 {
+		return false
+	}
+	merged := make([]int32, 0, len(o.elems)+missing)
+	i = 0
+	for _, v := range src {
+		if excl != nil && excl.Has(int(v)) {
+			continue
+		}
+		for i < len(o.elems) && o.elems[i] < v {
+			merged = append(merged, o.elems[i])
+			i++
+		}
+		if i < len(o.elems) && o.elems[i] == v {
+			continue // appended on a later iteration of the outer loop
+		}
+		merged = append(merged, v)
+	}
+	merged = append(merged, o.elems[i:]...)
+	o.elems = merged
+	return true
 }
 
 // ForEach calls f for each element in increasing order.

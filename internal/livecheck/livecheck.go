@@ -27,8 +27,14 @@ package livecheck
 import (
 	"repro/internal/bitset"
 	"repro/internal/dom"
+	"repro/internal/interference"
 	"repro/internal/ir"
 )
+
+// Checker implements the block-boundary liveness query interface shared
+// with package liveness, so the translator swaps dataflow sets for the
+// checker without touching its callers.
+var _ interference.BlockLiveness = (*Checker)(nil)
 
 // Checker answers liveness queries from CFG-only precomputation plus the
 // def-use index of the current program.
@@ -59,9 +65,11 @@ func New(f *ir.Func, dt *dom.Tree, du *ir.DefUse) *Checker {
 
 	// Identify back edges with a DFS from the entry: an edge is a back
 	// edge when its target is on the current DFS stack (retreating edge).
+	// backFrom[s] lists the back-edge targets out of block s (a handful at
+	// most — the out-degree is bounded by the terminator arity).
 	onStack := make([]bool, n)
 	visited := make([]bool, n)
-	isBack := make([]map[int]bool, n)
+	backFrom := make([][]int, n)
 	type frame struct {
 		b    *ir.Block
 		next int
@@ -75,10 +83,7 @@ func New(f *ir.Func, dt *dom.Tree, du *ir.DefUse) *Checker {
 			s := fr.b.Succs[fr.next]
 			fr.next++
 			if onStack[s.ID] {
-				if isBack[fr.b.ID] == nil {
-					isBack[fr.b.ID] = map[int]bool{}
-				}
-				isBack[fr.b.ID][s.ID] = true
+				backFrom[fr.b.ID] = append(backFrom[fr.b.ID], s.ID)
 				continue
 			}
 			if !visited[s.ID] {
@@ -106,16 +111,19 @@ func New(f *ir.Func, dt *dom.Tree, du *ir.DefUse) *Checker {
 	for i := len(rpo) - 1; i >= 0; i-- {
 		q := rpo[i]
 		c.r[q].Add(q)
+	succ:
 		for _, s := range f.Blocks[q].Succs {
-			if isBack[q] != nil && isBack[q][s.ID] {
-				continue
+			for _, t := range backFrom[q] {
+				if t == s.ID {
+					continue succ
+				}
 			}
 			c.r[q].UnionWith(c.r[s.ID])
 		}
 	}
 
 	for s := 0; s < n; s++ {
-		for t := range isBack[s] {
+		for _, t := range backFrom[s] {
 			c.backs = append(c.backs, backEdge{s, t})
 		}
 	}

@@ -96,6 +96,99 @@ func TestBackendsAgree(t *testing.T) {
 	}
 }
 
+// sameSets asserts two Infos agree on every (block, var) membership.
+func sameSets(t *testing.T, f *ir.Func, got, want *liveness.Info, label string) {
+	t.Helper()
+	for _, b := range f.Blocks {
+		for v := range f.Vars {
+			vid := ir.VarID(v)
+			if got.LiveInBlock(vid, b.ID) != want.LiveInBlock(vid, b.ID) {
+				t.Fatalf("%s %s/%s: live-in disagreement on %s", label, f.Name, b.Name, f.VarName(vid))
+			}
+			if got.LiveOutBlock(vid, b.ID) != want.LiveOutBlock(vid, b.ID) {
+				t.Fatalf("%s %s/%s: live-out disagreement on %s", label, f.Name, b.Name, f.VarName(vid))
+			}
+		}
+	}
+}
+
+// TestWorklistMatchesReference is the property test of the worklist engine:
+// across randomized medium CFGs and the large-CFG corpus shapes, both
+// backends must produce live sets identical to the naive round-robin
+// reference fixpoint, with a bounded number of worklist pops.
+func TestWorklistMatchesReference(t *testing.T) {
+	var funcs []*ir.Func
+	for _, seed := range []int64{3, 17, 99} {
+		funcs = append(funcs, cfggen.Generate(cfggen.DefaultProfile("wl", seed))...)
+	}
+	funcs = append(funcs, cfggen.GenerateLarge(cfggen.LargeLivenessProfile("wlbig", 41, 0.05))...)
+	for _, f := range funcs {
+		for _, be := range []liveness.Backend{liveness.Bitsets, liveness.OrderedSets} {
+			got := liveness.ComputeWith(f, be)
+			want := liveness.ComputeReference(f, be)
+			sameSets(t, f, got, want, "worklist-vs-reference")
+			// Each block is seeded once; a block is revisited only when a
+			// successor's live-in grew, and the sets-only-grow lattice has
+			// height ≤ nvars, so pops are bounded by blocks × (nvars + 1).
+			// In practice RPO seeding keeps revisits near the loop nesting
+			// depth — assert a much tighter bound to catch ordering
+			// regressions, not just nontermination.
+			n := len(f.Blocks)
+			if got.Pops < n {
+				t.Fatalf("%s: %d pops for %d blocks: every block must be visited", f.Name, got.Pops, n)
+			}
+			if got.Pops > 12*n {
+				t.Fatalf("%s: %d pops for %d blocks: worklist convergence degraded", f.Name, got.Pops, n)
+			}
+			if got.Iterations > want.Iterations {
+				t.Fatalf("%s: worklist max visits %d exceeds reference passes %d",
+					f.Name, got.Iterations, want.Iterations)
+			}
+		}
+	}
+}
+
+// TestScratchReuseAcrossSizes reuses one Scratch over functions of varying
+// block/variable counts, in both growing and shrinking order — stale bits
+// or stale capacities from a previous run must never leak into results or
+// measured footprints.
+func TestScratchReuseAcrossSizes(t *testing.T) {
+	big := cfggen.GenerateLarge(cfggen.LargeLivenessProfile("sc", 5, 0.05))
+	small := cfggen.Generate(cfggen.DefaultProfile("sc2", 11))
+	order := append(append([]*ir.Func{}, big...), small...)
+	order = append(order, big[0]) // shrink then grow again
+	sc := liveness.NewScratch()
+	for _, f := range order {
+		got := liveness.ComputeInto(f, liveness.Bitsets, sc)
+		want := liveness.ComputeReference(f, liveness.Bitsets)
+		sameSets(t, f, got, want, "scratch-reuse")
+		if got.Bytes() != want.Bytes() {
+			t.Fatalf("%s: pooled scratch changed measured footprint: %d vs %d",
+				f.Name, got.Bytes(), want.Bytes())
+		}
+	}
+}
+
+// TestNonPositionalBlockIDs: liveness indexes every per-block vector
+// positionally, so it must refuse a function whose block IDs drifted from
+// their slice positions — and ir.Verify must flag that function first.
+func TestNonPositionalBlockIDs(t *testing.T) {
+	f := ir.MustParse(loopSrc)
+	if err := ir.Verify(f); err != nil {
+		t.Fatalf("baseline must verify: %v", err)
+	}
+	f.Blocks[1].ID, f.Blocks[2].ID = f.Blocks[2].ID, f.Blocks[1].ID
+	if err := ir.Verify(f); err == nil {
+		t.Fatal("ir.Verify must reject non-positional block IDs")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("liveness must panic on non-positional block IDs instead of mixing indices")
+		}
+	}()
+	liveness.Compute(f)
+}
+
 // TestLivenessDefinition cross-checks the dataflow result against the
 // path-based definition: v is live-out of b iff some φ-free-of-redef path
 // from b's exit reaches a use of v.

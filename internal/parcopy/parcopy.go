@@ -6,7 +6,11 @@
 // solution to the parallel assignment problem).
 package parcopy
 
-import "repro/internal/ir"
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
 
 // Copy is one sequential copy Dst ← Src.
 type Copy struct {
@@ -19,11 +23,22 @@ type Copy struct {
 // be invoked several times for several disjoint cycles (each call may
 // return the same variable: the cycles are broken one after the other).
 //
-// A destination may appear only once; duplicate sources are allowed (one
-// value copied to several destinations). The input slices are not modified.
+// A destination may appear only once — a duplicate destination makes the
+// parallel assignment ambiguous, and it would silently corrupt the pred map
+// below (the later pair overwrites the earlier one's predecessor, dropping
+// a copy) — so duplicates are rejected with a panic. Duplicate sources are
+// allowed (one value copied to several destinations). The input slices are
+// not modified.
 func Sequentialize(dsts, srcs []ir.VarID, fresh func() ir.VarID) []Copy {
 	if len(dsts) != len(srcs) {
 		panic("parcopy: mismatched parallel copy operand lists")
+	}
+	seen := make(map[ir.VarID]bool, len(dsts))
+	for _, d := range dsts {
+		if seen[d] {
+			panic(fmt.Sprintf("parcopy: destination %d appears twice in parallel copy", d))
+		}
+		seen[d] = true
 	}
 	// loc[a]: where the initial value of a is currently available.
 	// pred[b]: the variable whose initial value must end up in b.

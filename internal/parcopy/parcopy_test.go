@@ -229,6 +229,32 @@ func TestMismatchedPanics(t *testing.T) {
 	Sequentialize(v(1), v(1, 2), nil)
 }
 
+// TestDuplicateDestinationPanics: a destination appearing twice makes the
+// parallel assignment ambiguous and used to silently corrupt the pred map
+// (the second pair overwrote the first's predecessor, dropping a copy) —
+// it must be rejected loudly instead.
+func TestDuplicateDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate destination")
+		}
+	}()
+	// (a, a) ← (b, c): before the check, pred[a] was silently set to c and
+	// the copy from b was lost.
+	Sequentialize(v(1, 1), v(2, 3), nil)
+}
+
+// TestDuplicateSelfCopyDestinationPanics: the check covers self copies too
+// — (a, a) ← (a, b) is just as ambiguous.
+func TestDuplicateSelfCopyDestinationPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic on duplicate destination involving a self copy")
+		}
+	}()
+	Sequentialize(v(1, 1), v(1, 2), nil)
+}
+
 // TestQuickParallelSemantics drives Sequentialize with testing/quick:
 // arbitrary byte vectors are decoded into a valid parallel copy (unique
 // destinations, arbitrary sources), which must always implement the

@@ -150,6 +150,46 @@ join:
 // are each computed once and then served to later passes from the cache —
 // at least three distinct passes receive cached analyses without
 // recomputation.
+// TestRunBatchPooledLivenessScratch: batch translation with dataflow
+// liveness sets (no LiveCheck, so every worker computes liveness through
+// the pooled worklist scratch, and the graph configuration recomputes it
+// after copy insertion) must stay deterministic for any worker count —
+// the concurrency stress that would expose scratch sharing between
+// workers, especially under -race.
+func TestRunBatchPooledLivenessScratch(t *testing.T) {
+	funcs := workload(t, 4047, 24)
+	// UseGraph + OrderedSets exercises both backends' scratch paths via
+	// the interference graph's liveness pull.
+	for _, opt := range []core.Options{
+		{Strategy: core.Value, UseGraph: true},
+		{Strategy: core.Value, UseGraph: true, OrderedSets: true},
+	} {
+		seq := make([]*ir.Func, len(funcs))
+		for i, f := range funcs {
+			seq[i] = ir.Clone(f)
+			if _, err := core.Translate(seq[i], opt); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, workers := range []int{1, 8} {
+			clones := make([]*ir.Func, len(funcs))
+			for i, f := range funcs {
+				clones[i] = ir.Clone(f)
+			}
+			res := RunBatch(context.Background(), clones, Translate(opt), workers)
+			if err := res.Err(); err != nil {
+				t.Fatalf("workers=%d: %v", workers, err)
+			}
+			for i := range clones {
+				if clones[i].String() != seq[i].String() {
+					t.Fatalf("ordered=%v workers=%d func %d: IR differs from sequential run",
+						opt.OrderedSets, workers, i)
+				}
+			}
+		}
+	}
+}
+
 func TestCacheServesPasses(t *testing.T) {
 	t.Run("livecheck-config", func(t *testing.T) {
 		f, err := ir.Parse(phiDiamond)

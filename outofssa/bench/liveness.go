@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// ------------------------------------------------- Liveness trajectory
+
+// The liveness trajectory benchmarks the engine's hottest analysis on a
+// synthetic large-CFG corpus (deeply nested loops, wide switch dispatches,
+// dense φ pressure; thousands of blocks per function at scale 1) and
+// records the results as BENCH_liveness.json, so the perf trend of the
+// worklist engine is visible PR over PR. The pre-worklist round-robin
+// fixpoint (liveness.ComputeReference) is measured alongside as the fixed
+// baseline.
+
+// LivenessCase is one corpus entry of the liveness trajectory.
+type LivenessCase struct {
+	Name   string `json:"name"`
+	Blocks int    `json:"blocks"`
+	Vars   int    `json:"vars"`
+	Phis   int    `json:"phis"`
+	fn     *ir.Func
+}
+
+// LivenessCorpus generates the deterministic large-CFG corpus. scale
+// multiplies the per-function block budget (1 ≈ 2000 blocks per function;
+// tests and -short runs use a fraction).
+func LivenessCorpus(scale float64) []LivenessCase {
+	profiles := []struct {
+		name string
+		seed int64
+	}{
+		{"deeploops-a", 1009},
+		{"widejoins-b", 2003},
+		{"phiheavy-c", 3001},
+	}
+	var out []LivenessCase
+	for _, p := range profiles {
+		for _, f := range cfggen.GenerateLarge(cfggen.LargeLivenessProfile(p.name, p.seed, scale)) {
+			phis := 0
+			for _, b := range f.Blocks {
+				phis += len(b.Phis)
+			}
+			out = append(out, LivenessCase{
+				Name: f.Name, Blocks: len(f.Blocks), Vars: len(f.Vars), Phis: phis, fn: f,
+			})
+		}
+	}
+	return out
+}
+
+// Func returns the case's function (tests drive the engines directly).
+func (c *LivenessCase) Func() *ir.Func { return c.fn }
+
+// LivenessResult is one (case, engine, backend) measurement.
+type LivenessResult struct {
+	Case    string `json:"case"`
+	Engine  string `json:"engine"`  // "worklist" or "reference"
+	Backend string `json:"backend"` // "bitsets" or "ordered"
+	// NsPerOp, AllocsPerOp and BytesPerOp come from testing.Benchmark.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Pops and Iterations are the fixpoint effort of one run (worklist
+	// pops / max visits of a single block; the reference engine reports
+	// passes × blocks and passes).
+	Pops       int `json:"pops"`
+	Iterations int `json:"iterations"`
+}
+
+// LivenessReport is the BENCH_liveness.json payload.
+type LivenessReport struct {
+	Scale   float64          `json:"scale"`
+	Corpus  []LivenessCase   `json:"corpus"`
+	Results []LivenessResult `json:"results"`
+}
+
+type livenessEngine struct {
+	name string
+	run  func(*ir.Func, liveness.Backend) *liveness.Info
+}
+
+var livenessEngines = []livenessEngine{
+	{"worklist", func(f *ir.Func, be liveness.Backend) *liveness.Info {
+		return liveness.ComputeWith(f, be)
+	}},
+	{"reference", liveness.ComputeReference},
+}
+
+var livenessBackends = []struct {
+	name string
+	be   liveness.Backend
+}{
+	{"bitsets", liveness.Bitsets},
+	{"ordered", liveness.OrderedSets},
+}
+
+// LivenessTrajectory measures every engine × backend combination over the
+// corpus with testing.Benchmark and returns the report.
+func LivenessTrajectory(scale float64) *LivenessReport {
+	corpus := LivenessCorpus(scale)
+	rep := &LivenessReport{Scale: scale, Corpus: corpus}
+	for _, c := range corpus {
+		for _, eng := range livenessEngines {
+			for _, bk := range livenessBackends {
+				f, run, be := c.fn, eng.run, bk.be
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						run(f, be)
+					}
+				})
+				info := run(f, be)
+				rep.Results = append(rep.Results, LivenessResult{
+					Case:        c.Name,
+					Engine:      eng.name,
+					Backend:     bk.name,
+					NsPerOp:     float64(r.NsPerOp()),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					Pops:        info.Pops,
+					Iterations:  info.Iterations,
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *LivenessReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// FormatLiveness renders the trajectory as a table: one row per case and
+// backend, worklist vs reference side by side with the speedup and the
+// allocation ratio.
+func FormatLiveness(rep *LivenessReport) string {
+	byKey := map[string]LivenessResult{}
+	for _, r := range rep.Results {
+		byKey[r.Case+"/"+r.Engine+"/"+r.Backend] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Liveness trajectory (scale %g): worklist vs reference fixpoint\n", rep.Scale)
+	fmt.Fprintf(&b, "%-22s %-8s %9s %9s %7s %12s %12s %7s\n",
+		"case", "backend", "wl ns/op", "ref ns/op", "speedup", "wl allocs", "ref allocs", "alloc÷")
+	for _, c := range rep.Corpus {
+		for _, bk := range livenessBackends {
+			wl, okW := byKey[c.Name+"/worklist/"+bk.name]
+			ref, okR := byKey[c.Name+"/reference/"+bk.name]
+			if !okW || !okR {
+				continue
+			}
+			speed, allocR := 0.0, 0.0
+			if wl.NsPerOp > 0 {
+				speed = ref.NsPerOp / wl.NsPerOp
+			}
+			if wl.AllocsPerOp > 0 {
+				allocR = float64(ref.AllocsPerOp) / float64(wl.AllocsPerOp)
+			}
+			fmt.Fprintf(&b, "%-22s %-8s %9.0f %9.0f %6.2fx %12d %12d %6.2fx\n",
+				c.Name, bk.name, wl.NsPerOp, ref.NsPerOp, speed, wl.AllocsPerOp, ref.AllocsPerOp, allocR)
+		}
+	}
+	return b.String()
+}

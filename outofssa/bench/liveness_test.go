@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+func TestLivenessCorpusDeterministicAndValid(t *testing.T) {
+	a := LivenessCorpus(0.05)
+	b := LivenessCorpus(0.05)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("corpus sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Func().String() != b[i].Func().String() {
+			t.Fatalf("case %d not deterministic", i)
+		}
+		if err := ir.Verify(a[i].Func()); err != nil {
+			t.Fatalf("%s: %v", a[i].Name, err)
+		}
+		if a[i].Blocks != len(a[i].Func().Blocks) || a[i].Vars != len(a[i].Func().Vars) {
+			t.Fatalf("%s: stale metadata", a[i].Name)
+		}
+	}
+}
+
+// TestLivenessCorpusEnginesAgree runs the differential check on the very
+// corpus the trajectory measures (the benchmark claim depends on it).
+func TestLivenessCorpusEnginesAgree(t *testing.T) {
+	for _, c := range LivenessCorpus(0.03) {
+		f := c.Func()
+		got := liveness.ComputeWith(f, liveness.Bitsets)
+		want := liveness.ComputeReference(f, liveness.Bitsets)
+		for _, b := range f.Blocks {
+			for v := range f.Vars {
+				vid := ir.VarID(v)
+				if got.LiveInBlock(vid, b.ID) != want.LiveInBlock(vid, b.ID) ||
+					got.LiveOutBlock(vid, b.ID) != want.LiveOutBlock(vid, b.ID) {
+					t.Fatalf("%s/%s: engines disagree on %s", c.Name, b.Name, f.VarName(vid))
+				}
+			}
+		}
+	}
+}
+
+func TestLivenessReportJSONAndFormat(t *testing.T) {
+	rep := &LivenessReport{
+		Scale: 0.5,
+		Corpus: []LivenessCase{
+			{Name: "c1", Blocks: 10, Vars: 20, Phis: 3},
+		},
+		Results: []LivenessResult{
+			{Case: "c1", Engine: "worklist", Backend: "bitsets", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 400, Pops: 12, Iterations: 2},
+			{Case: "c1", Engine: "reference", Backend: "bitsets", NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4000, Pops: 40, Iterations: 4},
+		},
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back LivenessReport
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != 0.5 || len(back.Results) != 2 || back.Results[0].Engine != "worklist" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	table := FormatLiveness(rep)
+	if !strings.Contains(table, "c1") || !strings.Contains(table, "10.00x") {
+		t.Fatalf("table missing case or speedup:\n%s", table)
+	}
+}
