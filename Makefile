@@ -1,10 +1,12 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures bench-liveness
+.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce
 
 # Scale of the liveness trajectory corpus; CI uses the short default, local
 # runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
 LIVENESS_SCALE ?= 0.05
+# Scale of the coalescing trajectory corpus (same convention).
+COALESCE_SCALE ?= 0.05
 
 build:
 	$(GO) build ./...
@@ -32,5 +34,11 @@ figures:
 # archives per run.
 bench-liveness:
 	$(GO) run ./cmd/ssabench -fig liveness -scale $(LIVENESS_SCALE) -out BENCH_liveness.json
+
+# Benchmark the optimized interference query path (binary-search LiveAfter,
+# packed def-point keys, pooled congruence scratch) against the kept
+# reference path on the φ/copy-dense corpus.
+bench-coalesce:
+	$(GO) run ./cmd/ssabench -fig coalesce -scale $(COALESCE_SCALE) -out BENCH_coalesce.json
 
 ci: vet build test race examples

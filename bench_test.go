@@ -254,6 +254,54 @@ func BenchmarkLiveness(b *testing.B) {
 	}
 }
 
+var (
+	coalCorpusOnce sync.Once
+	coalCorpus     []bench.CoalesceCase
+)
+
+// coalesceWorkload returns the φ/copy-dense corpus of the coalescing
+// trajectory at a bench-friendly scale.
+func coalesceWorkload() []bench.CoalesceCase {
+	coalCorpusOnce.Do(func() { coalCorpus = bench.CoalesceCorpus(0.1) })
+	return coalCorpus
+}
+
+// BenchmarkCoalesce measures the optimized interference query path
+// (binary-search LiveAfter, packed def-point keys, pooled congruence
+// scratch) against the kept reference path on the φ/copy-dense corpus, for
+// both liveness backends — the testing.B twin of `ssabench -fig coalesce` /
+// BENCH_coalesce.json.
+func BenchmarkCoalesce(b *testing.B) {
+	for _, eng := range []struct {
+		name      string
+		reference bool
+	}{{"Optimized", false}, {"Reference", true}} {
+		for _, bk := range []struct {
+			name      string
+			livecheck bool
+		}{{"LiveCheck", true}, {"Liveness", false}} {
+			b.Run(eng.name+"/"+bk.name, func(b *testing.B) {
+				corpus := coalesceWorkload()
+				chks := make([]*interference.Checker, len(corpus))
+				for i := range corpus {
+					chks[i] = corpus[i].NewChecker(eng.reference, bk.livecheck)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				queries := 0
+				for i := 0; i < b.N; i++ {
+					for j := range corpus {
+						chks[j].Queries = 0
+						corpus[j].RunCoalesce(chks[j])
+						queries += chks[j].Queries
+					}
+				}
+				b.ReportMetric(float64(queries)/float64(b.N), "pair-queries")
+			})
+		}
+	}
+}
+
 // BenchmarkAblationLiveness compares constructing dataflow liveness sets
 // (bit sets and ordered sets) against the CFG-only liveness checker.
 func BenchmarkAblationLiveness(b *testing.B) {

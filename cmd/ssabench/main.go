@@ -7,17 +7,21 @@
 //	ssabench -fig 7           # memory footprint per machinery combination
 //	ssabench -fig all         # every paper figure (5, 6 and 7)
 //
-// Beyond the paper's figures it records the engine's own perf trajectory
-// (a long-running benchmark, deliberately not part of -fig all):
+// Beyond the paper's figures it records the engine's own perf trajectories
+// (long-running benchmarks, deliberately not part of -fig all):
 //
 //	ssabench -fig liveness -out BENCH_liveness.json
+//	ssabench -fig coalesce -out BENCH_coalesce.json
 //
-// benchmarks the worklist liveness engine against the pre-worklist
-// round-robin fixpoint on a synthetic large-CFG corpus (deep loops, wide
-// switch joins, dense φ pressure) and writes the machine-readable
-// trajectory file CI archives per run.
+// -fig liveness benchmarks the worklist liveness engine against the
+// pre-worklist round-robin fixpoint on a synthetic large-CFG corpus (deep
+// loops, wide switch joins, dense φ pressure); -fig coalesce benchmarks the
+// optimized interference query path (binary-search LiveAfter, packed
+// def-point keys, pooled congruence scratch) against the kept reference
+// path on a φ/copy-dense corpus. Both write the machine-readable trajectory
+// file CI archives per run.
 //
-// -scale shrinks or grows the workload (the liveness corpus included);
+// -scale shrinks or grows the workload (the trajectory corpora included);
 // -weighted adds the frequency-weighted companion of Figure 5; -workers
 // sets the batch driver's worker pool for the untimed figures (0 = NumCPU;
 // results are identical for any worker count, only wall-clock changes).
@@ -26,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -34,12 +39,12 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all (paper figures); liveness runs the perf trajectory instead")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all (paper figures); liveness and coalesce run the perf trajectories instead")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
 	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
 	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = NumCPU)")
-	out := flag.String("out", "", "with -fig liveness: also write the trajectory as JSON to this file")
+	out := flag.String("out", "", "with -fig liveness/coalesce: also write the trajectory as JSON to this file")
 	strategy := flag.String("strategy", "all",
 		"restrict figure 5 to one coalescing strategy: all, or one of "+strings.Join(outofssa.StrategyNames(), "|"))
 	flag.Parse()
@@ -55,8 +60,12 @@ func main() {
 	}
 
 	bench.Workers = *workers
-	if *fig == "liveness" {
-		figLiveness(*scale, *out) // has its own corpus; the SPEC suite is not needed
+	switch *fig { // the trajectories have their own corpora; no SPEC suite
+	case "liveness":
+		figLiveness(*scale, *out)
+		return
+	case "coalesce":
+		figCoalesce(*scale, *out)
 		return
 	}
 	suite := bench.Suite(*scale)
@@ -105,6 +114,16 @@ func fig7(suite []bench.Benchmark) {
 func figLiveness(scale float64, out string) {
 	rep := bench.LivenessTrajectory(scale)
 	fmt.Print(bench.FormatLiveness(rep))
+	writeTrajectory(out, rep.WriteJSON)
+}
+
+func figCoalesce(scale float64, out string) {
+	rep := bench.CoalesceTrajectory(scale)
+	fmt.Print(bench.FormatCoalesce(rep))
+	writeTrajectory(out, rep.WriteJSON)
+}
+
+func writeTrajectory(out string, write func(io.Writer) error) {
 	if out == "" {
 		return
 	}
@@ -113,7 +132,7 @@ func figLiveness(scale float64, out string) {
 		fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
 		os.Exit(1)
 	}
-	werr := rep.WriteJSON(f)
+	werr := write(f)
 	if cerr := f.Close(); werr == nil {
 		werr = cerr // a failed flush at close also corrupts the trajectory
 	}

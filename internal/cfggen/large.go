@@ -28,6 +28,12 @@ type LargeProfile struct {
 	SwitchWidth int
 	// SharedVars is the size of the mutated-everywhere variable pool.
 	SharedVars int
+	// FoldCopies is the per-copy probability that post-construction copy
+	// propagation folds it. Folding extends live ranges across the copy;
+	// the survivors stay in the program as coalescible affinities, so a
+	// *low* value yields the copy-dense shape the coalescing trajectory
+	// wants.
+	FoldCopies float64
 }
 
 // LargeLivenessProfile returns the profile the BENCH_liveness trajectory
@@ -40,6 +46,24 @@ func LargeLivenessProfile(name string, seed int64, scale float64) LargeProfile {
 	return LargeProfile{
 		Name: name, Seed: seed, Funcs: 4,
 		Blocks: blocks, LoopDepth: 8, SwitchWidth: 12, SharedVars: 24,
+		FoldCopies: 0.5,
+	}
+}
+
+// LargeCoalesceProfile returns the profile of the BENCH_coalesce
+// trajectory: wider switch joins (wide φs), a larger shared-variable pool
+// (dense φ pressure), and most copies kept unfolded (dense affinities), at
+// a smaller block budget — coalescing work grows faster than block count.
+// 1 ≈ 3 functions of ~800 blocks each.
+func LargeCoalesceProfile(name string, seed int64, scale float64) LargeProfile {
+	blocks := int(800 * scale)
+	if blocks < 48 {
+		blocks = 48
+	}
+	return LargeProfile{
+		Name: name, Seed: seed, Funcs: 3,
+		Blocks: blocks, LoopDepth: 5, SwitchWidth: 18, SharedVars: 32,
+		FoldCopies: 0.25,
 	}
 }
 
@@ -52,10 +76,11 @@ func GenerateLarge(p LargeProfile) []*ir.Func {
 		g := &largeGen{p: p, rng: rand.New(rand.NewSource(rng.Int63()))}
 		f := g.function(i)
 		dt, _ := ssa.Construct(f)
-		// Fold half the copies: extends live ranges across copies without
-		// killing the φ webs, as the medium generator does.
+		// Fold the profile's share of the copies: folding extends live
+		// ranges across copies without killing the φ webs; the survivors
+		// stay coalescible affinities.
 		prng := rand.New(rand.NewSource(rng.Int63()))
-		ssa.PropagateCopiesWhere(f, dt, func(ir.VarID) bool { return prng.Float64() < 0.5 })
+		ssa.PropagateCopiesWhere(f, dt, func(ir.VarID) bool { return prng.Float64() < p.FoldCopies })
 		ssa.EliminateDeadCode(f)
 		ssa.SortPhisByDef(f)
 		funcs = append(funcs, f)

@@ -6,6 +6,7 @@
 package coalesce
 
 import (
+	"math"
 	"sort"
 
 	"repro/internal/congruence"
@@ -180,27 +181,40 @@ func (r *Result) tally(affs []sreedhar.Affinity) {
 	}
 }
 
-// sortOrder returns the processing order of the affinities.
+// sortOrder returns the processing order of the affinities: strictly
+// decreasing weight within each group, ties broken by input position. The
+// comparison keys (φ group, weight, index) are precomputed into one flat
+// slice, so the sort compares adjacent struct fields instead of chasing
+// affs[order[i]] indirections through a closure per comparison — and with
+// the distinct index as the final key the order is total, so the plain
+// (unstable) sort is deterministic without SliceStable's extra passes.
 func sortOrder(affs []sreedhar.Affinity, groupPhis bool) []int {
-	order := make([]int, len(affs))
-	for i := range order {
-		order[i] = i
+	type sortKey struct {
+		group  int32 // φ index, or MaxInt32 for the trailing non-φ section
+		weight float64
+		idx    int32
 	}
-	sort.SliceStable(order, func(x, y int) bool {
-		ax, ay := affs[order[x]], affs[order[y]]
-		if groupPhis {
-			gx, gy := ax.Phi, ay.Phi
-			if (gx >= 0) != (gy >= 0) {
-				return gx >= 0 // φ-related first
-			}
-			if gx >= 0 && gx != gy {
-				return gx < gy
-			}
+	keys := make([]sortKey, len(affs))
+	for i, a := range affs {
+		g := int32(math.MaxInt32)
+		if groupPhis && a.Phi >= 0 {
+			g = int32(a.Phi) // φ-related first, φ-function by φ-function
 		}
-		if ax.Weight != ay.Weight {
-			return ax.Weight > ay.Weight
+		keys[i] = sortKey{group: g, weight: a.Weight, idx: int32(i)}
+	}
+	sort.Slice(keys, func(x, y int) bool {
+		kx, ky := &keys[x], &keys[y]
+		if kx.group != ky.group {
+			return kx.group < ky.group
 		}
-		return order[x] < order[y]
+		if kx.weight != ky.weight {
+			return kx.weight > ky.weight
+		}
+		return kx.idx < ky.idx
 	})
+	order := make([]int, len(affs))
+	for i := range keys {
+		order[i] = int(keys[i].idx)
+	}
 	return order
 }

@@ -12,6 +12,14 @@
 // order; a variable can only intersect an already-visited one if it
 // intersects its nearest dominating ancestor or, with value equality in
 // play, one of that ancestor's equal-intersecting-ancestor chain.
+//
+// A full coalescing run performs one merge per accepted affinity, so the
+// class storage is allocation-conscious: member lists and register labels
+// live in root-indexed slices (no map traffic on the hot path), merges
+// reuse the backing arrays of the merged lists whenever one has the
+// capacity, and retired arrays go to a small free list instead of the
+// garbage collector. The per-merge-allocating baseline survives behind the
+// Reference flag as the trajectory benchmark's fixed comparison point.
 package congruence
 
 import (
@@ -24,8 +32,25 @@ type Classes struct {
 	chk    *interference.Checker
 	parent []ir.VarID
 	size   []int32
-	lists  map[ir.VarID][]ir.VarID // root → members in pre-DFS def order; absent for singletons
-	reg    map[ir.VarID]string     // root → pinned register label
+	lists  [][]ir.VarID // root → members in pre-DFS def order; nil for singletons
+	reg    []string     // root → pinned register label ("" for none)
+
+	// singles is the identity list 0..n-1; Members serves singleton classes
+	// as one-element subslices of it instead of allocating per call.
+	singles []ir.VarID
+
+	// spare holds backing arrays retired by merges, reused by later merges
+	// that outgrow both inputs.
+	spare [][]ir.VarID
+
+	// stack is the reusable dominance-forest traversal stack of the linear
+	// checks and of recomputeEqualAnc (one live traversal at a time).
+	stack []stackEntry
+
+	// Reference disables the scratch reuse: every merge allocates a fresh
+	// exact-size member list, as the pre-pooling implementation did. The
+	// coalescing trajectory benchmark measures against it.
+	Reference bool
 
 	// equalAncIn[v] is the nearest dominating ancestor of v *within v's
 	// class* that has the same value and intersects v (paper, Section
@@ -42,15 +67,19 @@ type Classes struct {
 	Tests int
 }
 
-// New returns singleton classes over the variable universe of chk.
+// New returns singleton classes over the variable universe of chk. The
+// Reference flag of chk carries over, so a reference checker drives a
+// reference merge path too.
 func New(chk *interference.Checker) *Classes {
 	n := len(chk.F.Vars)
 	c := &Classes{
 		chk:         chk,
 		parent:      make([]ir.VarID, n),
 		size:        make([]int32, n),
-		lists:       map[ir.VarID][]ir.VarID{},
-		reg:         map[ir.VarID]string{},
+		lists:       make([][]ir.VarID, n),
+		reg:         make([]string, n),
+		singles:     make([]ir.VarID, n),
+		Reference:   chk.Reference,
 		equalAncIn:  make([]ir.VarID, n),
 		equalAncOut: make([]ir.VarID, n),
 		outEpoch:    make([]uint32, n),
@@ -58,13 +87,12 @@ func New(chk *interference.Checker) *Classes {
 	for i := range c.parent {
 		c.parent[i] = ir.VarID(i)
 		c.size[i] = 1
+		c.singles[i] = ir.VarID(i)
 		c.equalAncIn[i] = ir.NoVar
 		c.equalAncOut[i] = ir.NoVar
 	}
 	for i, v := range chk.F.Vars {
-		if v.Reg != "" {
-			c.reg[ir.VarID(i)] = v.Reg
-		}
+		c.reg[i] = v.Reg
 	}
 	return c
 }
@@ -75,12 +103,12 @@ func (c *Classes) grow() {
 		v := ir.VarID(len(c.parent))
 		c.parent = append(c.parent, v)
 		c.size = append(c.size, 1)
+		c.lists = append(c.lists, nil)
+		c.reg = append(c.reg, c.chk.F.Vars[v].Reg)
+		c.singles = append(c.singles, v)
 		c.equalAncIn = append(c.equalAncIn, ir.NoVar)
 		c.equalAncOut = append(c.equalAncOut, ir.NoVar)
 		c.outEpoch = append(c.outEpoch, 0)
-		if r := c.chk.F.Vars[v].Reg; r != "" {
-			c.reg[v] = r
-		}
 	}
 }
 
@@ -103,13 +131,14 @@ func (c *Classes) Find(v ir.VarID) ir.VarID {
 func (c *Classes) SameClass(a, b ir.VarID) bool { return c.Find(a) == c.Find(b) }
 
 // Members returns the class of v in pre-DFS definition order. The slice
-// must not be mutated.
+// must not be mutated and is only valid until the next merge involving the
+// class.
 func (c *Classes) Members(v ir.VarID) []ir.VarID {
 	root := c.Find(v)
-	if l, ok := c.lists[root]; ok {
+	if l := c.lists[root]; l != nil {
 		return l
 	}
-	return []ir.VarID{root}
+	return c.singles[root : root+1 : root+1]
 }
 
 // Reg returns the architectural register the class of v is pinned to, or "".

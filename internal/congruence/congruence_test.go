@@ -2,6 +2,7 @@ package congruence_test
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"repro/internal/cfggen"
@@ -235,6 +236,60 @@ func TestRegisterLabelsPropagate(t *testing.T) {
 	classes.MergeForced(y, x)
 	if classes.Reg(y) != "R0" {
 		t.Fatal("label must survive the merge")
+	}
+}
+
+// TestMergeForcedConflictingRegistersPanics: force-merging two classes
+// pinned to *different* architectural registers must panic naming both
+// registers — silently keeping one label would retarget the other
+// register's variables and miscompile (the bug link used to have: the
+// absorbed root's label overwrote the survivor's).
+func TestMergeForcedConflictingRegistersPanics(t *testing.T) {
+	f := ir.NewFunc("conflict")
+	b := f.NewBlock("entry")
+	x := f.NewPinnedVar("x", "R0")
+	y := f.NewPinnedVar("y", "R1")
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpConst, Defs: []ir.VarID{x}, Aux: 1},
+		{Op: ir.OpConst, Defs: []ir.VarID{y}, Aux: 2},
+		{Op: ir.OpPrint, Uses: []ir.VarID{x}},
+		{Op: ir.OpRet, Uses: []ir.VarID{y}},
+	}
+	chk := newChecker(f, false)
+	classes := congruence.New(chk)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("MergeForced of differently-pinned classes must panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "R0") || !strings.Contains(msg, "R1") {
+			t.Fatalf("panic must name both registers, got %v", r)
+		}
+	}()
+	classes.MergeForced(x, y)
+}
+
+// TestMergeSamePinnedRegisterKeepsLabel: merging two classes pinned to the
+// *same* register stays legal, in either merge direction.
+func TestMergeSamePinnedRegisterKeepsLabel(t *testing.T) {
+	f := ir.NewFunc("samereg")
+	b := f.NewBlock("entry")
+	x := f.NewPinnedVar("x", "R4")
+	y := f.NewPinnedVar("y", "R4")
+	z := f.NewVar("z")
+	b.Instrs = []*ir.Instr{
+		{Op: ir.OpConst, Defs: []ir.VarID{x}, Aux: 1},
+		{Op: ir.OpCopy, Defs: []ir.VarID{z}, Uses: []ir.VarID{x}},
+		{Op: ir.OpConst, Defs: []ir.VarID{y}, Aux: 2},
+		{Op: ir.OpRet, Uses: []ir.VarID{y}},
+	}
+	chk := newChecker(f, false)
+	classes := congruence.New(chk)
+	classes.MergeForced(x, y)
+	classes.MergeForced(z, x)
+	if classes.Reg(x) != "R4" || classes.Reg(y) != "R4" || classes.Reg(z) != "R4" {
+		t.Fatalf("label lost: %q %q %q", classes.Reg(x), classes.Reg(y), classes.Reg(z))
 	}
 }
 

@@ -6,6 +6,32 @@ import "repro/internal/ir"
 // quadratic class test; x and y always belong to different classes.
 type Pred func(x, y ir.VarID) bool
 
+// stackEntry is one frame of the simulated dominance-forest traversal: a
+// variable and which of the two classes ("red" or "blue") it came from.
+type stackEntry struct {
+	v   ir.VarID
+	red bool
+}
+
+// takeStack hands out the reusable traversal stack (empty). Under Reference
+// it returns nil so every traversal allocates afresh, as the pre-pooling
+// implementation did.
+func (c *Classes) takeStack() []stackEntry {
+	if c.Reference {
+		return nil
+	}
+	s := c.stack
+	c.stack = nil
+	return s[:0]
+}
+
+// putStack returns the (possibly grown) traversal stack to the pool.
+func (c *Classes) putStack(s []stackEntry) {
+	if !c.Reference {
+		c.stack = s
+	}
+}
+
 // InterferesQuadratic tests interference between the classes of a and b by
 // testing every cross pair, the baseline the paper's "Linear" option
 // replaces. exemptA/exemptB, when valid, skip the single pair
@@ -47,11 +73,8 @@ func (c *Classes) InterferesLinear(a, b ir.VarID) bool {
 	c.epoch++
 	red, blue := c.Members(ra), c.Members(rb)
 
-	type entry struct {
-		v   ir.VarID
-		red bool
-	}
-	var dom []entry
+	dom := c.takeStack()
+	defer func() { c.putStack(dom) }()
 	nr, nb := 0, 0 // stack entries from red / blue
 	ri, bi := 0, 0
 
@@ -84,7 +107,7 @@ func (c *Classes) InterferesLinear(a, b ir.VarID) bool {
 		if c.interference(cur, curRed, parent, parentRed) {
 			return true
 		}
-		dom = append(dom, entry{cur, curRed})
+		dom = append(dom, stackEntry{cur, curRed})
 		if curRed {
 			nr++
 		} else {
@@ -105,11 +128,8 @@ func (c *Classes) InterferesLinearPure(a, b ir.VarID) bool {
 		return false
 	}
 	red, blue := c.Members(ra), c.Members(rb)
-	type entry struct {
-		v   ir.VarID
-		red bool
-	}
-	var dom []entry
+	dom := c.takeStack()
+	defer func() { c.putStack(dom) }()
 	nr, nb := 0, 0
 	ri, bi := 0, 0
 	for (ri < len(red) && nb > 0) || (bi < len(blue) && nr > 0) ||
@@ -137,7 +157,7 @@ func (c *Classes) InterferesLinearPure(a, b ir.VarID) bool {
 				return true
 			}
 		}
-		dom = append(dom, entry{cur, curRed})
+		dom = append(dom, stackEntry{cur, curRed})
 		if curRed {
 			nr++
 		} else {

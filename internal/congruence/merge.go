@@ -13,7 +13,7 @@ func (c *Classes) Merge(a, b ir.VarID) ir.VarID {
 	if ra == rb {
 		return ra
 	}
-	merged := c.mergeLists(c.Members(ra), c.Members(rb))
+	merged := c.mergeRoots(ra, rb)
 	for _, v := range merged {
 		c.equalAncIn[v] = c.maxPre(c.equalAncIn[v], c.getOut(v))
 	}
@@ -30,7 +30,7 @@ func (c *Classes) MergeForced(a, b ir.VarID) ir.VarID {
 	if ra == rb {
 		return ra
 	}
-	merged := c.mergeLists(c.Members(ra), c.Members(rb))
+	merged := c.mergeRoots(ra, rb)
 	c.recomputeEqualAnc(merged)
 	return c.link(ra, rb, merged)
 }
@@ -43,29 +43,66 @@ func (c *Classes) MergeSimple(a, b ir.VarID) ir.VarID {
 	if ra == rb {
 		return ra
 	}
-	return c.link(ra, rb, c.mergeLists(c.Members(ra), c.Members(rb)))
+	return c.link(ra, rb, c.mergeRoots(ra, rb))
 }
 
 // link performs the union-find merge of roots ra and rb with the merged
-// member list, propagating register labels.
+// member list, propagating register labels. Two classes pinned to
+// *different* architectural registers must never be merged — the class
+// predicates treat such pairs as interfering, so reaching link with
+// conflicting pins is a force-merge bug that would silently retarget one
+// register's variables to the other; it panics instead.
 func (c *Classes) link(ra, rb ir.VarID, merged []ir.VarID) ir.VarID {
 	if c.size[ra] < c.size[rb] {
 		ra, rb = rb, ra
 	}
+	if rr := c.reg[rb]; rr != "" {
+		if ar := c.reg[ra]; ar != "" && ar != rr {
+			panic("congruence: cannot merge classes pinned to different registers " +
+				ar + " and " + rr)
+		}
+		c.reg[ra] = rr
+		c.reg[rb] = ""
+	}
 	c.parent[rb] = ra
 	c.size[ra] += c.size[rb]
 	c.lists[ra] = merged
-	delete(c.lists, rb)
-	if r, ok := c.reg[rb]; ok {
-		c.reg[ra] = r
-		delete(c.reg, rb)
-	}
+	c.lists[rb] = nil
 	return ra
 }
 
-// mergeLists merges two pre-DFS-ordered member lists in linear time.
-func (c *Classes) mergeLists(x, y []ir.VarID) []ir.VarID {
-	out := make([]ir.VarID, 0, len(x)+len(y))
+// mergeRoots merges the pre-DFS-ordered member lists of roots ra and rb in
+// linear time, retiring both roots' list storage. The merge lands in one of
+// the existing backing arrays when it fits (a backward merge, so the
+// occupant is never overwritten before it is read); otherwise it goes to a
+// free-listed or fresh array with append-style headroom, so a class absorbs
+// many merges per allocation. Under Reference every merge allocates a fresh
+// exact-size list — the pre-pooling behaviour the trajectory benchmark
+// compares against.
+func (c *Classes) mergeRoots(ra, rb ir.VarID) []ir.VarID {
+	x, y := c.Members(ra), c.Members(rb)
+	need := len(x) + len(y)
+	if c.Reference {
+		return c.mergeForward(make([]ir.VarID, 0, need), x, y)
+	}
+	ax, ay := c.lists[ra], c.lists[rb]
+	c.lists[ra], c.lists[rb] = nil, nil
+	if cap(ax) >= need {
+		c.releaseList(ay)
+		return c.mergeBackward(ax[:need], x, y)
+	}
+	if cap(ay) >= need {
+		c.releaseList(ax)
+		return c.mergeBackward(ay[:need], y, x)
+	}
+	out := c.mergeForward(c.takeList(need), x, y)
+	c.releaseList(ax)
+	c.releaseList(ay)
+	return out
+}
+
+// mergeForward merges x and y into out (which must not alias either).
+func (c *Classes) mergeForward(out, x, y []ir.VarID) []ir.VarID {
 	i, j := 0, 0
 	for i < len(x) && j < len(y) {
 		if c.less(x[i], y[j]) {
@@ -77,8 +114,46 @@ func (c *Classes) mergeLists(x, y []ir.VarID) []ir.VarID {
 		}
 	}
 	out = append(out, x[i:]...)
-	out = append(out, y[j:]...)
+	return append(out, y[j:]...)
+}
+
+// mergeBackward merges x and y into out, where x occupies the front of
+// out's backing array. Writing from the back, the write index always stays
+// ahead of the unread suffix of x; once y is exhausted the remaining prefix
+// of x is already in place.
+func (c *Classes) mergeBackward(out, x, y []ir.VarID) []ir.VarID {
+	i, j := len(x)-1, len(y)-1
+	for k := len(out) - 1; j >= 0; k-- {
+		if i >= 0 && c.less(y[j], x[i]) {
+			out[k] = x[i]
+			i--
+		} else {
+			out[k] = y[j]
+			j--
+		}
+	}
 	return out
+}
+
+// takeList returns an empty list with capacity at least need, preferring a
+// retired backing array over a fresh allocation.
+func (c *Classes) takeList(need int) []ir.VarID {
+	for i := len(c.spare) - 1; i >= 0; i-- {
+		if cap(c.spare[i]) >= need {
+			s := c.spare[i]
+			c.spare = append(c.spare[:i], c.spare[i+1:]...)
+			return s[:0]
+		}
+	}
+	return make([]ir.VarID, 0, need+need/2+4)
+}
+
+// releaseList retires a backing array for reuse by later merges.
+func (c *Classes) releaseList(a []ir.VarID) {
+	if cap(a) == 0 {
+		return
+	}
+	c.spare = append(c.spare, a[:0])
 }
 
 // maxPre returns the nearer of two dominating ancestors: the one whose
@@ -100,19 +175,20 @@ func (c *Classes) maxPre(x, y ir.VarID) ir.VarID {
 // ordered list, by simulating the dominance-forest traversal and scanning
 // the ancestor stack for the nearest same-value intersecting member.
 func (c *Classes) recomputeEqualAnc(list []ir.VarID) {
-	var dom []ir.VarID
+	dom := c.takeStack()
 	for _, cur := range list {
-		for len(dom) > 0 && !c.chk.DefDominates(dom[len(dom)-1], cur) {
+		for len(dom) > 0 && !c.chk.DefDominates(dom[len(dom)-1].v, cur) {
 			dom = dom[:len(dom)-1]
 		}
 		c.equalAncIn[cur] = ir.NoVar
 		for i := len(dom) - 1; i >= 0; i-- {
-			anc := dom[i]
+			anc := dom[i].v
 			if c.chk.Value(anc) == c.chk.Value(cur) && c.chk.Intersect(anc, cur) {
 				c.equalAncIn[cur] = anc
 				break
 			}
 		}
-		dom = append(dom, cur)
+		dom = append(dom, stackEntry{v: cur})
 	}
+	c.putStack(dom)
 }

@@ -113,6 +113,13 @@ type Options struct {
 	// OpParCopy instructions in the output; used by tests that inspect the
 	// parallel form.
 	KeepParallelCopies bool
+	// ReferenceQueries answers every interference query with the
+	// pre-optimization implementations (linear use-list scans, per-query
+	// def-point derivation, per-merge class allocation). Results are
+	// identical; only cost differs. It exists for the differential oracle
+	// tests and as the fixed baseline of the coalescing trajectory
+	// benchmark (BENCH_coalesce.json).
+	ReferenceQueries bool
 }
 
 // Validate rejects inconsistent option combinations.
@@ -354,6 +361,7 @@ func (t *Translation) Coalesce() error {
 
 	t.chk = &interference.Checker{
 		F: f, DT: t.An.Dom(), DU: t.An.DefUse(), Live: t.oracle(), Vals: t.vals,
+		Reference: opt.ReferenceQueries,
 	}
 	t.classes = congruence.New(t.chk)
 	precoalescePinned(f, t.classes)
@@ -368,7 +376,7 @@ func (t *Translation) Coalesce() error {
 		}
 		t.affs = append(t.affs, t.ins.Affinities...)
 	}
-	t.affs = append(t.affs, collectRealCopies(f, t.ins)...)
+	t.affs = append(t.affs, sreedhar.CollectRealCopies(f, t.ins)...)
 
 	if opt.Virtualize {
 		vz := &coalesce.Virtualizer{M: m, Ins: t.ins, Variant: engineVariant(opt.Strategy), Live: t.live}
@@ -441,6 +449,11 @@ func (t *Translation) Rewrite() error {
 	}
 	return nil
 }
+
+// CoalesceResult exposes the per-affinity coalescing decisions of the
+// Coalesce phase (nil before it ran). The differential oracle tests compare
+// it across the optimized and reference query paths.
+func (t *Translation) CoalesceResult() *coalesce.Result { return t.res }
 
 // Translate rewrites f, which must be in strict SSA form, into equivalent
 // φ-free standard code, returning the statistics of the run. f is mutated
@@ -520,46 +533,6 @@ func precoalescePinned(f *ir.Func, classes *congruence.Classes) {
 			byReg[v.Reg] = ir.VarID(i)
 		}
 	}
-}
-
-// collectRealCopies gathers affinities for the copies that existed before
-// copy insertion (register renaming constraints, optimization leftovers),
-// skipping the parallel copies the insertion itself created.
-func collectRealCopies(f *ir.Func, ins *sreedhar.Insertion) []sreedhar.Affinity {
-	skip := map[*ir.Instr]bool{}
-	for _, pc := range ins.BeginCopies {
-		if pc != nil {
-			skip[pc] = true
-		}
-	}
-	for _, pc := range ins.EndCopies {
-		if pc != nil {
-			skip[pc] = true
-		}
-	}
-	var out []sreedhar.Affinity
-	for _, b := range f.Blocks {
-		for i, in := range b.Instrs {
-			if skip[in] {
-				continue
-			}
-			switch in.Op {
-			case ir.OpCopy:
-				out = append(out, sreedhar.Affinity{
-					Dst: in.Defs[0], Src: in.Uses[0], Weight: b.Freq,
-					Block: b.ID, Slot: ir.SlotOfInstr(i), Phi: -1, Instr: in,
-				})
-			case ir.OpParCopy:
-				for j, d := range in.Defs {
-					out = append(out, sreedhar.Affinity{
-						Dst: d, Src: in.Uses[j], Weight: b.Freq,
-						Block: b.ID, Slot: ir.SlotOfInstr(i), Phi: -1, Instr: in,
-					})
-				}
-			}
-		}
-	}
-	return out
 }
 
 // fillFootprint records measured and evaluated memory footprints.

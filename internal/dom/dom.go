@@ -136,6 +136,12 @@ func (t *Tree) StrictlyDominates(a, b int) bool { return a != b && t.Dominates(a
 // yields the "pre-DFS order" the paper's Algorithm 2 requires.
 func (t *Tree) PreOrder(b int) int32 { return t.pre[b] }
 
+// PostOrder returns the dominator-tree postorder number of b (-1 if
+// unreachable). Together with PreOrder it answers dominance in O(1):
+// a dominates b iff pre(a) <= pre(b) and post(b) <= post(a) — the pair the
+// interference checker caches per definition point.
+func (t *Tree) PostOrder(b int) int32 { return t.post[b] }
+
 // RPO returns the blocks in reverse postorder of the CFG.
 func (t *Tree) RPO() []int { return t.rpo }
 

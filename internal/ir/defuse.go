@@ -1,6 +1,9 @@
 package ir
 
-import "math"
+import (
+	"math"
+	"sort"
+)
 
 // Slot numbering inside a block: all φ-functions execute in parallel at
 // slot 0; body instruction i occupies slot i+1. φ arguments are uses at the
@@ -18,9 +21,20 @@ type UseSite struct {
 	Instr *Instr
 }
 
+// before orders use sites by (block, slot) — the order every use list is
+// kept in, so per-block queries are binary searches.
+func (u UseSite) before(block int32, slot int32) bool {
+	return u.Block < block || (u.Block == block && u.Slot < slot)
+}
+
 // DefUse indexes the unique definition and all uses of every variable of an
 // SSA-form function. Variables without a definition (possible for function
 // universes that grew speculatively) report DefBlock -1.
+//
+// Each use list is kept sorted by (block, slot); AddUse and RemoveUse
+// preserve the order, which is what lets interference queries answer "is
+// there a use of v in block b after slot s" with a binary search instead of
+// a scan of the whole list.
 type DefUse struct {
 	f        *Func
 	defBlock []int32
@@ -68,7 +82,24 @@ func NewDefUse(f *Func) *DefUse {
 			}
 		}
 	}
+	// φ uses are recorded while visiting the φ block, not the predecessor,
+	// so the collected lists are not yet (block, slot)-sorted.
+	for _, us := range du.uses {
+		if !sortedUses(us) {
+			sort.SliceStable(us, func(i, j int) bool { return us[i].before(us[j].Block, us[j].Slot) })
+		}
+	}
 	return du
+}
+
+// sortedUses reports whether us is already (block, slot)-sorted.
+func sortedUses(us []UseSite) bool {
+	for i := 1; i < len(us); i++ {
+		if us[i].before(us[i-1].Block, us[i-1].Slot) {
+			return false
+		}
+	}
+	return true
 }
 
 // Func returns the indexed function.
@@ -86,8 +117,43 @@ func (du *DefUse) DefSlot(v VarID) int32 { return du.defSlot[v] }
 // DefInstr returns the defining instruction of v, or nil.
 func (du *DefUse) DefInstr(v VarID) *Instr { return du.defInstr[v] }
 
-// Uses returns the use sites of v. The returned slice must not be mutated.
+// Uses returns the use sites of v, sorted by (block, slot). The returned
+// slice must not be mutated.
 func (du *DefUse) Uses(v VarID) []UseSite { return du.uses[v] }
+
+// searchUse returns the index of the first use of v that is not before
+// (block, slot) — the lower bound of the key in the sorted use list.
+func (du *DefUse) searchUse(v VarID, block int32, slot int32) int {
+	us := du.uses[v]
+	return sort.Search(len(us), func(i int) bool { return !us[i].before(block, slot) })
+}
+
+// UsedInBlockAfter reports whether v has a use in block strictly after
+// slot, in O(log uses) — the query LiveAfter turns into a binary search.
+func (du *DefUse) UsedInBlockAfter(v VarID, block int, slot int32) bool {
+	if slot == math.MaxInt32 {
+		return false // nothing lies after a φ use
+	}
+	i := du.searchUse(v, int32(block), slot+1)
+	us := du.uses[v]
+	return i < len(us) && us[i].Block == int32(block)
+}
+
+// HasUseAt reports whether v has a use at exactly (block, slot); with
+// slot == PhiUseSlot this asks "does some φ of a successor read v along an
+// edge out of block".
+func (du *DefUse) HasUseAt(v VarID, block int, slot int32) bool {
+	i := du.searchUse(v, int32(block), slot)
+	us := du.uses[v]
+	return i < len(us) && us[i].Block == int32(block) && us[i].Slot == slot
+}
+
+// UsedOutsideBlock reports whether v has a use in some block other than
+// block. Because the list is block-sorted, checking its ends suffices.
+func (du *DefUse) UsedOutsideBlock(v VarID, block int) bool {
+	us := du.uses[v]
+	return len(us) > 0 && (us[0].Block != int32(block) || us[len(us)-1].Block != int32(block))
+}
 
 // grow extends the index when the function universe gained variables.
 func (du *DefUse) grow() {
@@ -123,20 +189,29 @@ func (du *DefUse) ReplaceDef(v VarID, block int, slot int32, in *Instr) {
 	du.defInstr[v] = in
 }
 
-// AddUse records a new use of v at (block, slot).
+// AddUse records a new use of v at (block, slot), inserting it at its
+// sorted position.
 func (du *DefUse) AddUse(v VarID, block int, slot int32, in *Instr) {
 	du.grow()
-	du.uses[v] = append(du.uses[v], UseSite{Block: int32(block), Slot: slot, Instr: in})
+	i := du.searchUse(v, int32(block), slot)
+	us := append(du.uses[v], UseSite{})
+	copy(us[i+1:], us[i:])
+	us[i] = UseSite{Block: int32(block), Slot: slot, Instr: in}
+	du.uses[v] = us
 }
 
 // RemoveUse deletes one recorded use of v at (block, slot) by the given
-// instruction. It panics when no such use exists (an indexing bug).
+// instruction, preserving the sorted order. It panics when no such use
+// exists (an indexing bug).
 func (du *DefUse) RemoveUse(v VarID, block int, slot int32, in *Instr) {
 	us := du.uses[v]
-	for i, u := range us {
-		if int(u.Block) == block && u.Slot == slot && u.Instr == in {
-			us[i] = us[len(us)-1]
-			du.uses[v] = us[:len(us)-1]
+	for i := du.searchUse(v, int32(block), slot); i < len(us); i++ {
+		u := us[i]
+		if int(u.Block) != block || u.Slot != slot {
+			break // past the key: the use is not recorded
+		}
+		if u.Instr == in {
+			du.uses[v] = append(us[:i], us[i+1:]...)
 			return
 		}
 	}

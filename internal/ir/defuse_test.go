@@ -1,0 +1,148 @@
+package ir_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/ir"
+)
+
+// usesSorted fails the test if the use list of any variable of f is not
+// (block, slot)-sorted.
+func usesSorted(t *testing.T, f *ir.Func, du *ir.DefUse) {
+	t.Helper()
+	for v := range f.Vars {
+		us := du.Uses(ir.VarID(v))
+		for i := 1; i < len(us); i++ {
+			a, b := us[i-1], us[i]
+			if a.Block > b.Block || (a.Block == b.Block && a.Slot > b.Slot) {
+				t.Fatalf("%s: uses of %s not sorted: %v before %v",
+					f.Name, f.VarName(ir.VarID(v)), a, b)
+			}
+		}
+	}
+}
+
+// bruteUsedInBlockAfter is the linear-scan reference of UsedInBlockAfter.
+func bruteUsedInBlockAfter(du *ir.DefUse, v ir.VarID, block int, slot int32) bool {
+	for _, u := range du.Uses(v) {
+		if int(u.Block) == block && u.Slot > slot {
+			return true
+		}
+	}
+	return false
+}
+
+func TestDefUseListsSorted(t *testing.T) {
+	p := cfggen.DefaultProfile("dusort", 71)
+	p.Funcs = 6
+	for _, f := range cfggen.Generate(p) {
+		usesSorted(t, f, ir.NewDefUse(f))
+	}
+}
+
+func TestUsedInBlockAfterMatchesScan(t *testing.T) {
+	p := cfggen.DefaultProfile("duquery", 73)
+	p.Funcs = 4
+	for _, f := range cfggen.Generate(p) {
+		du := ir.NewDefUse(f)
+		for v := range f.Vars {
+			vid := ir.VarID(v)
+			for _, b := range f.Blocks {
+				for slot := int32(-1); slot <= int32(len(b.Instrs))+1; slot++ {
+					got := du.UsedInBlockAfter(vid, b.ID, slot)
+					want := bruteUsedInBlockAfter(du, vid, b.ID, slot)
+					if got != want {
+						t.Fatalf("%s: UsedInBlockAfter(%s, %d, %d) = %v, scan says %v",
+							f.Name, f.VarName(vid), b.ID, slot, got, want)
+					}
+				}
+				// φ-use lookups: exact key and the "nothing after a φ use"
+				// boundary.
+				wantPhi := false
+				for _, u := range du.Uses(vid) {
+					if int(u.Block) == b.ID && u.Slot == ir.PhiUseSlot {
+						wantPhi = true
+					}
+				}
+				if got := du.HasUseAt(vid, b.ID, ir.PhiUseSlot); got != wantPhi {
+					t.Fatalf("%s: HasUseAt(%s, %d, φ) = %v, want %v",
+						f.Name, f.VarName(vid), b.ID, got, wantPhi)
+				}
+				if du.UsedInBlockAfter(vid, b.ID, ir.PhiUseSlot) {
+					t.Fatalf("%s: a use after the φ slot cannot exist", f.Name)
+				}
+			}
+			// UsedOutsideBlock against a scan.
+			for _, b := range f.Blocks {
+				want := false
+				for _, u := range du.Uses(vid) {
+					if int(u.Block) != b.ID {
+						want = true
+					}
+				}
+				if got := du.UsedOutsideBlock(vid, b.ID); got != want {
+					t.Fatalf("%s: UsedOutsideBlock(%s, %d) = %v, want %v",
+						f.Name, f.VarName(vid), b.ID, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAddRemoveUseKeepOrder hammers AddUse/RemoveUse with random sites and
+// checks the sorted invariant plus the exact multiset after every step.
+func TestAddRemoveUseKeepOrder(t *testing.T) {
+	p := cfggen.DefaultProfile("dumut", 79)
+	p.Funcs = 2
+	rng := rand.New(rand.NewSource(7))
+	for _, f := range cfggen.Generate(p) {
+		du := ir.NewDefUse(f)
+		type site struct {
+			v     ir.VarID
+			block int
+			slot  int32
+			in    *ir.Instr
+		}
+		var added []site
+		marker := &ir.Instr{Op: ir.OpCopy}
+		for step := 0; step < 200; step++ {
+			if len(added) == 0 || rng.Intn(3) != 0 {
+				v := ir.VarID(rng.Intn(len(f.Vars)))
+				b := rng.Intn(len(f.Blocks))
+				slot := int32(rng.Intn(20))
+				if rng.Intn(8) == 0 {
+					slot = ir.PhiUseSlot
+				}
+				du.AddUse(v, b, slot, marker)
+				added = append(added, site{v, b, slot, marker})
+			} else {
+				i := rng.Intn(len(added))
+				s := added[i]
+				du.RemoveUse(s.v, s.block, s.slot, s.in)
+				added = append(added[:i], added[i+1:]...)
+			}
+		}
+		usesSorted(t, f, du)
+		// Every recorded site must still be findable, then removable.
+		for _, s := range added {
+			if !du.HasUseAt(s.v, s.block, s.slot) {
+				t.Fatalf("added use of %s at (%d,%d) lost", f.VarName(s.v), s.block, s.slot)
+			}
+			du.RemoveUse(s.v, s.block, s.slot, s.in)
+		}
+		usesSorted(t, f, du)
+	}
+}
+
+func TestRemoveUseUnrecordedPanics(t *testing.T) {
+	f := ir.MustParse("func f {\nentry:\n  x = const 1\n  ret x\n}")
+	du := ir.NewDefUse(f)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RemoveUse of an unrecorded use must panic")
+		}
+	}()
+	du.RemoveUse(ir.VarID(0), 0, 99, &ir.Instr{Op: ir.OpCopy})
+}

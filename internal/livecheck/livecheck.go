@@ -195,19 +195,15 @@ func (c *Checker) LiveOutBlock(v ir.VarID, q int) bool {
 	if d < 0 || !c.dt.Dominates(d, q) {
 		return false
 	}
-	for _, u := range c.du.Uses(v) {
-		if u.Slot == ir.PhiUseSlot && int(u.Block) == q {
-			return true // used by a φ of a successor along one of q's edges
-		}
+	// The use lists are (block, slot)-sorted: a φ use along one of q's edges
+	// is an exact-key lookup, and "some use beyond the defining block" is a
+	// check of the list's ends.
+	if c.du.HasUseAt(v, q, ir.PhiUseSlot) {
+		return true // used by a φ of a successor along one of q's edges
 	}
 	if d == q {
 		// Live-out of the defining block iff some use lies beyond it.
-		for _, u := range c.du.Uses(v) {
-			if int(u.Block) != q {
-				return true
-			}
-		}
-		return false
+		return c.du.UsedOutsideBlock(v, q)
 	}
 	for _, s := range c.f.Blocks[q].Succs {
 		if c.LiveInBlock(v, s.ID) {

@@ -163,9 +163,34 @@ func indexOf(b *ir.Block, in *ir.Instr) int {
 // f (register renaming constraints and optimization leftovers), to be
 // coalesced alongside the φ-related ones (paper, Section III-B).
 func CollectExistingCopies(f *ir.Func) []Affinity {
+	return collectCopies(f, nil)
+}
+
+// CollectRealCopies is CollectExistingCopies restricted to the copies that
+// pre-existed copy insertion: the parallel copies ins itself created are
+// skipped.
+func CollectRealCopies(f *ir.Func, ins *Insertion) []Affinity {
+	skip := map[*ir.Instr]bool{}
+	for _, pc := range ins.BeginCopies {
+		if pc != nil {
+			skip[pc] = true
+		}
+	}
+	for _, pc := range ins.EndCopies {
+		if pc != nil {
+			skip[pc] = true
+		}
+	}
+	return collectCopies(f, skip)
+}
+
+func collectCopies(f *ir.Func, skip map[*ir.Instr]bool) []Affinity {
 	var out []Affinity
 	for _, b := range f.Blocks {
 		for i, in := range b.Instrs {
+			if skip[in] {
+				continue
+			}
 			switch in.Op {
 			case ir.OpCopy:
 				out = append(out, Affinity{

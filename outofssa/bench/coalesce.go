@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/coalesce"
+	"repro/internal/congruence"
+	"repro/internal/dom"
+	"repro/internal/interference"
+	"repro/internal/ir"
+	"repro/internal/livecheck"
+	"repro/internal/liveness"
+	"repro/internal/sreedhar"
+	"repro/internal/ssa"
+)
+
+// ------------------------------------------------ Coalescing trajectory
+//
+// The coalescing trajectory benchmarks the interference *query path* — the
+// hot loop behind the paper's speed claims (Figures 6–7): per-affinity
+// class interference tests, each decomposing into LiveAfter /
+// DefOrder / DefDominates queries, plus the class merges between them. The
+// corpus is φ/copy-dense (wide switch joins, a large shared-variable pool,
+// most copies kept), and every engine × backend combination is measured
+// with testing.Benchmark, recorded as BENCH_coalesce.json per CI run.
+//
+// The "reference" engine is the pre-optimization query path kept alive
+// behind interference.Checker.Reference / congruence.Classes.Reference:
+// linear use-list scans, per-query def-point derivation, per-merge class
+// allocation. Both engines make identical coalescing decisions — a
+// differential test asserts it on this very corpus — so the trajectory
+// isolates cost, not quality.
+
+// CoalesceCase is one corpus entry of the coalescing trajectory: a function
+// with Method I copies already inserted, ready for class-level coalescing.
+type CoalesceCase struct {
+	Name       string `json:"name"`
+	Blocks     int    `json:"blocks"`
+	Vars       int    `json:"vars"`
+	Phis       int    `json:"phis"`
+	Affinities int    `json:"affinities"`
+
+	fn   *ir.Func
+	ins  *sreedhar.Insertion
+	affs []sreedhar.Affinity
+}
+
+// CoalesceCorpus generates the deterministic φ/copy-dense corpus and runs
+// copy insertion on it. scale multiplies the per-function block budget
+// (1 ≈ 800 blocks per function; tests and -short runs use a fraction).
+func CoalesceCorpus(scale float64) []CoalesceCase {
+	profiles := []struct {
+		name string
+		seed int64
+	}{
+		{"phidense-a", 5003},
+		{"copydense-b", 6007},
+		{"widejoin-c", 7001},
+	}
+	var out []CoalesceCase
+	for _, p := range profiles {
+		for _, f := range cfggen.GenerateLarge(cfggen.LargeCoalesceProfile(p.name, p.seed, scale)) {
+			sreedhar.SplitDuplicatePredEdges(f)
+			sreedhar.SplitBranchDefEdges(f)
+			ins, err := sreedhar.InsertCopies(f)
+			if err != nil {
+				panic("bench: " + f.Name + ": " + err.Error())
+			}
+			affs := append([]sreedhar.Affinity(nil), ins.Affinities...)
+			affs = append(affs, sreedhar.CollectRealCopies(f, ins)...)
+			phis := 0
+			for _, b := range f.Blocks {
+				phis += len(b.Phis)
+			}
+			out = append(out, CoalesceCase{
+				Name: f.Name, Blocks: len(f.Blocks), Vars: len(f.Vars),
+				Phis: phis, Affinities: len(affs),
+				fn: f, ins: ins, affs: affs,
+			})
+		}
+	}
+	return out
+}
+
+// Func returns the case's function (tests drive the machinery directly).
+func (c *CoalesceCase) Func() *ir.Func { return c.fn }
+
+// PhiNodes returns the φ-node variable groups of the Method I insertion.
+func (c *CoalesceCase) PhiNodes() [][]ir.VarID { return c.ins.PhiNodes }
+
+// Affs returns the case's affinities (φ copies plus surviving real copies).
+func (c *CoalesceCase) Affs() []sreedhar.Affinity { return c.affs }
+
+// NewChecker builds an interference checker over the case with the given
+// query path and liveness backend.
+func (c *CoalesceCase) NewChecker(reference, useLiveCheck bool) *interference.Checker {
+	dt := dom.Build(c.fn)
+	du := ir.NewDefUse(c.fn)
+	var live interference.BlockLiveness
+	if useLiveCheck {
+		live = livecheck.New(c.fn, dt, du)
+	} else {
+		live = liveness.ComputeWith(c.fn, liveness.Bitsets)
+	}
+	return &interference.Checker{
+		F: c.fn, DT: dt, DU: du, Live: live,
+		Vals: ssa.Values(c.fn, dt), Reference: reference,
+	}
+}
+
+// RunCoalesce performs one full class-level coalescing pass over the case
+// with the Value variant and the linear machinery: fresh congruence
+// classes, forced φ-node merges, then the affinity loop. This is the unit
+// of work the trajectory times.
+func (c *CoalesceCase) RunCoalesce(chk *interference.Checker) *coalesce.Result {
+	classes := congruence.New(chk)
+	for _, node := range c.ins.PhiNodes {
+		for i := 1; i < len(node); i++ {
+			classes.MergeForced(node[0], node[i])
+		}
+	}
+	m := &coalesce.Machinery{Chk: chk, Classes: classes, Linear: true}
+	return coalesce.Run(m, c.affs, coalesce.Value, false)
+}
+
+// CoalesceResultRow is one (case, engine, backend) measurement.
+type CoalesceResultRow struct {
+	Case    string `json:"case"`
+	Engine  string `json:"engine"`  // "optimized" or "reference"
+	Backend string `json:"backend"` // "livecheck" or "liveness"
+	// NsPerOp, AllocsPerOp and BytesPerOp come from testing.Benchmark.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// Queries counts the variable-pair intersection tests of one run —
+	// the Figure 6 instrumentation; identical across engines.
+	Queries int `json:"queries"`
+	// Coalesced and Remaining summarize the decisions of one run —
+	// identical across engines (the differential test enforces it).
+	Coalesced int `json:"coalesced"`
+	Remaining int `json:"remaining"`
+}
+
+// CoalesceReport is the BENCH_coalesce.json payload.
+type CoalesceReport struct {
+	Scale   float64             `json:"scale"`
+	Corpus  []CoalesceCase      `json:"corpus"`
+	Results []CoalesceResultRow `json:"results"`
+}
+
+var coalesceEngines = []struct {
+	name      string
+	reference bool
+}{
+	{"optimized", false},
+	{"reference", true},
+}
+
+var coalesceBackends = []struct {
+	name      string
+	livecheck bool
+}{
+	{"livecheck", true},
+	{"liveness", false},
+}
+
+// CoalesceTrajectory measures every engine × backend combination over the
+// corpus with testing.Benchmark and returns the report.
+func CoalesceTrajectory(scale float64) *CoalesceReport {
+	corpus := CoalesceCorpus(scale)
+	rep := &CoalesceReport{Scale: scale, Corpus: corpus}
+	for i := range corpus {
+		c := &corpus[i]
+		for _, eng := range coalesceEngines {
+			for _, bk := range coalesceBackends {
+				chk := c.NewChecker(eng.reference, bk.livecheck)
+				r := testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						c.RunCoalesce(chk)
+					}
+				})
+				// A clean checker isolates the query count of one run.
+				stat := c.NewChecker(eng.reference, bk.livecheck)
+				res := c.RunCoalesce(stat)
+				rep.Results = append(rep.Results, CoalesceResultRow{
+					Case:        c.Name,
+					Engine:      eng.name,
+					Backend:     bk.name,
+					NsPerOp:     float64(r.NsPerOp()),
+					AllocsPerOp: r.AllocsPerOp(),
+					BytesPerOp:  r.AllocedBytesPerOp(),
+					Queries:     stat.Queries,
+					Coalesced:   res.Removed,
+					Remaining:   res.RemainingCount,
+				})
+			}
+		}
+	}
+	return rep
+}
+
+// WriteJSON writes the report as indented JSON.
+func (rep *CoalesceReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// FormatCoalesce renders the trajectory as a table: one row per case and
+// backend, optimized vs reference side by side with the speedup and the
+// allocation ratio.
+func FormatCoalesce(rep *CoalesceReport) string {
+	byKey := map[string]CoalesceResultRow{}
+	for _, r := range rep.Results {
+		byKey[r.Case+"/"+r.Engine+"/"+r.Backend] = r
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Coalescing trajectory (scale %g): optimized vs reference query path\n", rep.Scale)
+	fmt.Fprintf(&b, "%-24s %-9s %10s %10s %7s %12s %12s %7s\n",
+		"case", "backend", "opt ns/op", "ref ns/op", "speedup", "opt allocs", "ref allocs", "alloc÷")
+	for _, c := range rep.Corpus {
+		for _, bk := range coalesceBackends {
+			opt, okO := byKey[c.Name+"/optimized/"+bk.name]
+			ref, okR := byKey[c.Name+"/reference/"+bk.name]
+			if !okO || !okR {
+				continue
+			}
+			speed, allocR := 0.0, 0.0
+			if opt.NsPerOp > 0 {
+				speed = ref.NsPerOp / opt.NsPerOp
+			}
+			if opt.AllocsPerOp > 0 {
+				allocR = float64(ref.AllocsPerOp) / float64(opt.AllocsPerOp)
+			}
+			fmt.Fprintf(&b, "%-24s %-9s %10.0f %10.0f %6.2fx %12d %12d %6.2fx\n",
+				c.Name, bk.name, opt.NsPerOp, ref.NsPerOp, speed, opt.AllocsPerOp, ref.AllocsPerOp, allocR)
+		}
+	}
+	return b.String()
+}

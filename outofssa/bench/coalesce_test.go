@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/core"
+	"repro/internal/ir"
+)
+
+func TestCoalesceCorpusDeterministicAndValid(t *testing.T) {
+	a := CoalesceCorpus(0.05)
+	b := CoalesceCorpus(0.05)
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("corpus sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Func().String() != b[i].Func().String() {
+			t.Fatalf("case %d not deterministic", i)
+		}
+		if err := ir.Verify(a[i].Func()); err != nil {
+			t.Fatalf("%s: %v", a[i].Name, err)
+		}
+		if a[i].Blocks != len(a[i].Func().Blocks) || a[i].Vars != len(a[i].Func().Vars) ||
+			a[i].Affinities != len(a[i].Affs()) {
+			t.Fatalf("%s: stale metadata", a[i].Name)
+		}
+		if a[i].Phis == 0 || a[i].Affinities == 0 {
+			t.Fatalf("%s: corpus must be φ/copy-dense (phis=%d affinities=%d)",
+				a[i].Name, a[i].Phis, a[i].Affinities)
+		}
+	}
+}
+
+// TestCoalesceCorpusEnginesAgree runs the differential check on the very
+// unit of work the trajectory measures: the optimized and reference query
+// paths must coalesce identically, affinity by affinity.
+func TestCoalesceCorpusEnginesAgree(t *testing.T) {
+	for _, c := range CoalesceCorpus(0.03) {
+		for _, bk := range coalesceBackends {
+			opt := c.RunCoalesce(c.NewChecker(false, bk.livecheck))
+			ref := c.RunCoalesce(c.NewChecker(true, bk.livecheck))
+			if len(opt.Statuses) != len(ref.Statuses) {
+				t.Fatalf("%s/%s: status lengths differ", c.Name, bk.name)
+			}
+			for i := range opt.Statuses {
+				if opt.Statuses[i] != ref.Statuses[i] {
+					t.Fatalf("%s/%s: affinity %d: optimized=%v reference=%v",
+						c.Name, bk.name, i, opt.Statuses[i], ref.Statuses[i])
+				}
+			}
+		}
+	}
+}
+
+// oracleOptions returns the machinery the Figure 5 run uses for s, with the
+// reference query path toggled.
+func oracleOptions(s core.Strategy, reference bool) core.Options {
+	opt := core.Options{Strategy: s, Linear: true, LiveCheck: true, ReferenceQueries: reference}
+	if s == core.SreedharIII {
+		opt = core.Options{Strategy: s, Virtualize: true, ReferenceQueries: reference}
+	}
+	return opt
+}
+
+// TestStrategiesReferenceOracle is the PR's acceptance oracle: for every
+// Figure 5 strategy, the optimized query path (binary-search LiveAfter,
+// packed def-point keys, pooled congruence scratch) and the kept reference
+// path must make identical per-affinity coalescing decisions
+// (Result.Statuses) — on the SPEC stand-in suite and on the φ/copy-dense
+// trajectory corpus shape alike.
+func TestStrategiesReferenceOracle(t *testing.T) {
+	var funcs []*ir.Func
+	for _, b := range Suite(0.05) {
+		funcs = append(funcs, b.Funcs...)
+	}
+	funcs = append(funcs, cfggen.GenerateLarge(cfggen.LargeCoalesceProfile("oracle", 971, 0.04))...)
+
+	for _, s := range core.Strategies {
+		for _, f := range funcs {
+			optRes := coalesceDecisions(t, ir.Clone(f), oracleOptions(s, false))
+			refRes := coalesceDecisions(t, ir.Clone(f), oracleOptions(s, true))
+			if len(optRes) != len(refRes) {
+				t.Fatalf("%v/%s: status lengths differ: %d vs %d", s, f.Name, len(optRes), len(refRes))
+			}
+			for i := range optRes {
+				if optRes[i] != refRes[i] {
+					t.Fatalf("%v/%s: affinity %d decided differently: optimized=%v reference=%v",
+						s, f.Name, i, optRes[i], refRes[i])
+				}
+			}
+		}
+	}
+}
+
+// coalesceDecisions runs the first three translation phases on f and
+// returns the per-affinity statuses as plain ints.
+func coalesceDecisions(t *testing.T, f *ir.Func, opt core.Options) []int {
+	t.Helper()
+	tr, err := core.NewTranslation(f, opt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []func() error{tr.Insert, tr.Analyze, tr.Coalesce} {
+		if err := phase(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res := tr.CoalesceResult()
+	out := make([]int, len(res.Statuses))
+	for i, s := range res.Statuses {
+		out[i] = int(s)
+	}
+	return out
+}
+
+func TestCoalesceReportJSONAndFormat(t *testing.T) {
+	rep := &CoalesceReport{
+		Scale: 0.5,
+		Corpus: []CoalesceCase{
+			{Name: "c1", Blocks: 10, Vars: 20, Phis: 3, Affinities: 7},
+		},
+		Results: []CoalesceResultRow{
+			{Case: "c1", Engine: "optimized", Backend: "livecheck", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 400, Queries: 12, Coalesced: 6, Remaining: 1},
+			{Case: "c1", Engine: "reference", Backend: "livecheck", NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4000, Queries: 12, Coalesced: 6, Remaining: 1},
+		},
+	}
+	var sb strings.Builder
+	if err := rep.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back CoalesceReport
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Scale != 0.5 || len(back.Results) != 2 || back.Results[0].Engine != "optimized" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	table := FormatCoalesce(rep)
+	if !strings.Contains(table, "c1") || !strings.Contains(table, "10.00x") {
+		t.Fatalf("table missing case or speedup:\n%s", table)
+	}
+}
