@@ -1,12 +1,16 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce
+.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check
 
 # Scale of the liveness trajectory corpus; CI uses the short default, local
 # runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
 LIVENESS_SCALE ?= 0.05
 # Scale of the coalescing trajectory corpus (same convention).
 COALESCE_SCALE ?= 0.05
+# Scale of the end-to-end translate trajectory corpus (same convention).
+# The committed BENCH_translate.json baseline is recorded at this scale, so
+# the bench-translate-check gate compares like with like.
+TRANSLATE_SCALE ?= 0.05
 
 build:
 	$(GO) build ./...
@@ -40,5 +44,18 @@ bench-liveness:
 # reference path on the φ/copy-dense corpus.
 bench-coalesce:
 	$(GO) run ./cmd/ssabench -fig coalesce -scale $(COALESCE_SCALE) -out BENCH_coalesce.json
+
+# Benchmark end-to-end clone+translate steady state: the pooled-scratch and
+# slab allocation path against the kept pre-pooling reference, across all
+# Figure 5 strategies.
+bench-translate:
+	$(GO) run ./cmd/ssabench -fig translate -scale $(TRANSLATE_SCALE) -out BENCH_translate.json
+
+# Same measurement, gated against the committed baseline: any pooled row
+# allocating more than 20% over BENCH_translate.json's allocs/op fails.
+# The fresh measurement goes to BENCH_translate.ci.json so the committed
+# baseline is never silently replaced by a within-slack regression.
+bench-translate-check:
+	$(GO) run ./cmd/ssabench -fig translate -scale $(TRANSLATE_SCALE) -against BENCH_translate.json -out BENCH_translate.ci.json
 
 ci: vet build test race examples

@@ -302,6 +302,78 @@ func BenchmarkCoalesce(b *testing.B) {
 	}
 }
 
+var (
+	transCorpusOnce sync.Once
+	transCorpus     []bench.TranslateCase
+)
+
+// translateWorkload returns the end-to-end corpus of the translate
+// trajectory at a bench-friendly scale.
+func translateWorkload() []bench.TranslateCase {
+	transCorpusOnce.Do(func() { transCorpus = bench.TranslateCorpus(0.1) })
+	return transCorpus
+}
+
+// BenchmarkTranslate measures end-to-end clone+translate steady state —
+// the pooled-scratch/slab allocation path (CloneInto + TranslateInto with
+// one reused core.Scratch) against the kept pre-pooling reference
+// (Clone + ReferenceAlloc) — for the default Sharing strategy and the
+// virtualized Sreedhar III baseline. The testing.B twin of
+// `ssabench -fig translate` / BENCH_translate.json.
+func BenchmarkTranslate(b *testing.B) {
+	strategies := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"Sharing", core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}},
+		{"SreedharIII", core.Options{Strategy: core.SreedharIII, Virtualize: true, UseGraph: true}},
+	}
+	for _, s := range strategies {
+		b.Run("Pooled/"+s.name, func(b *testing.B) {
+			corpus := translateWorkload()
+			sc := core.NewScratch()
+			dsts := make([]*ir.Func, len(corpus))
+			for i := range dsts {
+				dsts[i] = ir.NewFunc("")
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			copies := 0
+			for i := 0; i < b.N; i++ {
+				copies = 0
+				for j := range corpus {
+					ir.CloneInto(dsts[j], corpus[j].Func())
+					st, err := core.TranslateInto(dsts[j], s.opt, nil, sc)
+					if err != nil {
+						b.Fatal(err)
+					}
+					copies += st.FinalCopies
+				}
+			}
+			b.ReportMetric(float64(copies), "final-copies")
+		})
+		b.Run("Reference/"+s.name, func(b *testing.B) {
+			corpus := translateWorkload()
+			opt := s.opt
+			opt.ReferenceAlloc = true
+			b.ReportAllocs()
+			b.ResetTimer()
+			copies := 0
+			for i := 0; i < b.N; i++ {
+				copies = 0
+				for j := range corpus {
+					st, err := core.Translate(ir.Clone(corpus[j].Func()), opt)
+					if err != nil {
+						b.Fatal(err)
+					}
+					copies += st.FinalCopies
+				}
+			}
+			b.ReportMetric(float64(copies), "final-copies")
+		})
+	}
+}
+
 // BenchmarkAblationLiveness compares constructing dataflow liveness sets
 // (bit sets and ordered sets) against the CFG-only liveness checker.
 func BenchmarkAblationLiveness(b *testing.B) {

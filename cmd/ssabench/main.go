@@ -12,14 +12,21 @@
 //
 //	ssabench -fig liveness -out BENCH_liveness.json
 //	ssabench -fig coalesce -out BENCH_coalesce.json
+//	ssabench -fig translate -out BENCH_translate.json
+//	ssabench -fig translate -against BENCH_translate.json -out BENCH_translate.json
 //
 // -fig liveness benchmarks the worklist liveness engine against the
 // pre-worklist round-robin fixpoint on a synthetic large-CFG corpus (deep
 // loops, wide switch joins, dense φ pressure); -fig coalesce benchmarks the
 // optimized interference query path (binary-search LiveAfter, packed
 // def-point keys, pooled congruence scratch) against the kept reference
-// path on a φ/copy-dense corpus. Both write the machine-readable trajectory
-// file CI archives per run.
+// path on a φ/copy-dense corpus; -fig translate benchmarks the end-to-end
+// clone+translate steady state — the pooled-scratch/slab allocation path
+// against the kept pre-pooling reference — across all Figure 5 strategies.
+// All three write the machine-readable trajectory file CI archives per run.
+// With -against, the translate trajectory additionally gates on the named
+// committed baseline: any pooled row allocating more than 20% over the
+// baseline's allocs/op fails the run (exit 1).
 //
 // -scale shrinks or grows the workload (the trajectory corpora included);
 // -weighted adds the frequency-weighted companion of Figure 5; -workers
@@ -44,7 +51,8 @@ func main() {
 	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
 	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
 	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = NumCPU)")
-	out := flag.String("out", "", "with -fig liveness/coalesce: also write the trajectory as JSON to this file")
+	out := flag.String("out", "", "with -fig liveness/coalesce/translate: also write the trajectory as JSON to this file")
+	against := flag.String("against", "", "with -fig translate: gate pooled allocs/op against this committed baseline (fail on >20% regression)")
 	strategy := flag.String("strategy", "all",
 		"restrict figure 5 to one coalescing strategy: all, or one of "+strings.Join(outofssa.StrategyNames(), "|"))
 	flag.Parse()
@@ -66,6 +74,9 @@ func main() {
 		return
 	case "coalesce":
 		figCoalesce(*scale, *out)
+		return
+	case "translate":
+		figTranslate(*scale, *out, *against)
 		return
 	}
 	suite := bench.Suite(*scale)
@@ -121,6 +132,36 @@ func figCoalesce(scale float64, out string) {
 	rep := bench.CoalesceTrajectory(scale)
 	fmt.Print(bench.FormatCoalesce(rep))
 	writeTrajectory(out, rep.WriteJSON)
+}
+
+func figTranslate(scale float64, out, against string) {
+	// Load the baseline before measuring (and before -out overwrites it).
+	var baseline *bench.TranslateReport
+	if against != "" {
+		f, err := os.Open(against)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+			os.Exit(1)
+		}
+		baseline, err = bench.ReadTranslateReport(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	rep := bench.TranslateTrajectory(scale)
+	fmt.Print(bench.FormatTranslate(rep))
+	writeTrajectory(out, rep.WriteJSON)
+	if baseline != nil {
+		if violations := bench.CheckTranslateAllocs(rep, baseline, 0.20); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "ssabench: allocation regression: %s\n", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("allocation gate: pooled allocs/op within 20% of the committed baseline")
+	}
 }
 
 func writeTrajectory(out string, write func(io.Writer) error) {

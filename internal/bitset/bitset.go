@@ -26,6 +26,20 @@ func New(n int) *Set {
 	return &Set{words: make([]uint64, (n+wordBits-1)/wordBits), n: n}
 }
 
+// NewBatch returns count sets, each able to hold values in [0, n), carved
+// out of one shared backing array — two allocations total instead of two
+// per set. Every set's word slice has exact capacity, so a Grow beyond n
+// moves that set onto private backing and can never touch its neighbours.
+func NewBatch(n, count int) []Set {
+	wpb := (n + wordBits - 1) / wordBits
+	words := make([]uint64, wpb*count)
+	sets := make([]Set, count)
+	for i := range sets {
+		sets[i] = Set{words: words[i*wpb : (i+1)*wpb : (i+1)*wpb], n: n}
+	}
+	return sets
+}
+
 // Len returns the capacity of the set in bits.
 func (s *Set) Len() int { return s.n }
 

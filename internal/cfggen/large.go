@@ -34,6 +34,14 @@ type LargeProfile struct {
 	// *low* value yields the copy-dense shape the coalescing trajectory
 	// wants.
 	FoldCopies float64
+	// SwapShuffle is the per-loop-header probability of emitting a
+	// two-variable swap of shared variables. Swaps carried around a back
+	// edge are the paper's swap problem (Figure 3): after copy folding, the
+	// loop φs permute values, so some φ-related copies can never coalesce
+	// and the surviving parallel copies contain cycles — the input that
+	// exercises the sequentializer's cycle breaking. Zero (the default)
+	// draws no randomness, keeping the other profiles' corpora unchanged.
+	SwapShuffle float64
 }
 
 // LargeLivenessProfile returns the profile the BENCH_liveness trajectory
@@ -64,6 +72,25 @@ func LargeCoalesceProfile(name string, seed int64, scale float64) LargeProfile {
 		Name: name, Seed: seed, Funcs: 3,
 		Blocks: blocks, LoopDepth: 5, SwitchWidth: 18, SharedVars: 32,
 		FoldCopies: 0.25,
+	}
+}
+
+// LargeTranslateProfile returns the profile of the BENCH_translate
+// trajectory: the end-to-end translation benchmark wants functions that
+// exercise every phase — φ pressure for copy insertion, kept copies for the
+// coalescer, and enough live-range interference (aggressive copy folding
+// extends ranges across the folded copies) that parallel copies survive
+// into the sequentializer — at a block budget small enough that all
+// Figure 5 strategies finish quickly. 1 ≈ 2 functions of ~500 blocks each.
+func LargeTranslateProfile(name string, seed int64, scale float64) LargeProfile {
+	blocks := int(500 * scale)
+	if blocks < 40 {
+		blocks = 40
+	}
+	return LargeProfile{
+		Name: name, Seed: seed, Funcs: 2,
+		Blocks: blocks, LoopDepth: 6, SwitchWidth: 14, SharedVars: 24,
+		FoldCopies: 0.8, SwapShuffle: 0.5,
 	}
 }
 
@@ -123,6 +150,17 @@ func (g *largeGen) mutate() {
 	})
 }
 
+// swap exchanges two shared variables through a temporary — around a back
+// edge this is the swap problem whose φ copies cannot coalesce (the
+// SwapShuffle knob).
+func (g *largeGen) swap() {
+	x := g.pickShared()
+	y := g.pickShared()
+	t := g.bd.Copy(x)
+	g.bd.CopyTo(x, y)
+	g.bd.CopyTo(y, t)
+}
+
 func (g *largeGen) function(idx int) *ir.Func {
 	g.bd = ir.NewBuilder(g.p.Name + "_f" + itoa(idx))
 	g.budget = g.p.Blocks
@@ -176,6 +214,11 @@ func (g *largeGen) loop(depth int) {
 	g.bd.SetBlock(header)
 	for i := 0; i < 1+g.rng.Intn(3); i++ {
 		g.mutate()
+	}
+	// Guarded draw: profiles with SwapShuffle == 0 consume no randomness
+	// here, so their generated corpora are bit-identical to before.
+	if g.p.SwapShuffle > 0 && g.rng.Float64() < g.p.SwapShuffle {
+		g.swap()
 	}
 	if depth+1 < g.p.LoopDepth && g.rng.Float64() < 0.6 {
 		g.body(depth + 1)

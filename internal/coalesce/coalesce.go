@@ -64,6 +64,10 @@ type Machinery struct {
 	// applies to the Value variant (with value chains) and to Intersect;
 	// the pair-exemption variants need the quadratic form.
 	Linear bool
+	// Scratch, when non-nil, supplies the reusable per-run buffers of the
+	// affinity sort, the virtualizer, and the sharing post-pass. Nil makes
+	// every run allocate fresh buffers (the reference baseline).
+	Scratch *Scratch
 }
 
 // pairPred returns the variable-pair predicate for the variant.
@@ -149,7 +153,7 @@ func merge(m *Machinery, v Variant, a, b ir.VarID) {
 // copies globally by weight.
 func Run(m *Machinery, affs []sreedhar.Affinity, v Variant, groupPhis bool) *Result {
 	res := &Result{Statuses: make([]Status, len(affs))}
-	order := sortOrder(affs, groupPhis)
+	order := sortOrder(m.Scratch, affs, groupPhis)
 	for _, i := range order {
 		a := affs[i]
 		if m.Classes.SameClass(a.Dst, a.Src) {
@@ -181,6 +185,13 @@ func (r *Result) tally(affs []sreedhar.Affinity) {
 	}
 }
 
+// sortKey is one precomputed comparison key of sortOrder.
+type sortKey struct {
+	group  int32 // φ index, or MaxInt32 for the trailing non-φ section
+	weight float64
+	idx    int32
+}
+
 // sortOrder returns the processing order of the affinities: strictly
 // decreasing weight within each group, ties broken by input position. The
 // comparison keys (φ group, weight, index) are precomputed into one flat
@@ -188,13 +199,19 @@ func (r *Result) tally(affs []sreedhar.Affinity) {
 // affs[order[i]] indirections through a closure per comparison — and with
 // the distinct index as the final key the order is total, so the plain
 // (unstable) sort is deterministic without SliceStable's extra passes.
-func sortOrder(affs []sreedhar.Affinity, groupPhis bool) []int {
-	type sortKey struct {
-		group  int32 // φ index, or MaxInt32 for the trailing non-φ section
-		weight float64
-		idx    int32
+// The key and order buffers come from sc when provided; the returned slice
+// is then owned by the scratch and valid until its next run.
+func sortOrder(sc *Scratch, affs []sreedhar.Affinity, groupPhis bool) []int {
+	var keys []sortKey
+	var order []int
+	if sc != nil {
+		keys = growKeys(sc.keys, len(affs))
+		order = growInts(sc.order, len(affs))
+		sc.keys, sc.order = keys, order
+	} else {
+		keys = make([]sortKey, len(affs))
+		order = make([]int, len(affs))
 	}
-	keys := make([]sortKey, len(affs))
 	for i, a := range affs {
 		g := int32(math.MaxInt32)
 		if groupPhis && a.Phi >= 0 {
@@ -212,9 +229,24 @@ func sortOrder(affs []sreedhar.Affinity, groupPhis bool) []int {
 		}
 		return kx.idx < ky.idx
 	})
-	order := make([]int, len(affs))
 	for i := range keys {
 		order[i] = int(keys[i].idx)
 	}
 	return order
+}
+
+// growKeys returns s resized to n, reusing its capacity.
+func growKeys(s []sortKey, n int) []sortKey {
+	if cap(s) < n {
+		return make([]sortKey, n)
+	}
+	return s[:n]
+}
+
+// growInts returns s resized to n, reusing its capacity.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }

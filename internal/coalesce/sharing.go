@@ -20,21 +20,64 @@ import (
 // Share updates res in place and returns the number of copies it removed.
 func Share(m *Machinery, affs []sreedhar.Affinity, res *Result) int {
 	// Index variables by SSA value so candidates are found in O(|class|).
-	valueMembers := map[ir.VarID][]ir.VarID{}
-	for v := range m.Chk.F.Vars {
-		vid := ir.VarID(v)
-		if m.Chk.DU.HasDef(vid) {
-			valueMembers[m.Chk.Value(vid)] = append(valueMembers[m.Chk.Value(vid)], vid)
+	// The index is CSR-shaped — counting pass, prefix sums, fill pass into
+	// one flat array — with every buffer drawn from the scratch, so the
+	// default Sharing strategy builds it without per-value allocations.
+	sc := m.Scratch
+	n := len(m.Chk.F.Vars)
+	var count, start []int32
+	var flat []ir.VarID
+	var order []int
+	if sc != nil {
+		count = i32buf(sc.shCount, n)
+		start = i32buf(sc.shStart, n+1)
+		sc.shCount, sc.shStart = count, start
+	} else {
+		count = make([]int32, n)
+		start = make([]int32, n+1)
+	}
+	defined := 0
+	for v := 0; v < n; v++ {
+		if m.Chk.DU.HasDef(ir.VarID(v)) {
+			count[m.Chk.Value(ir.VarID(v))]++
+			defined++
 		}
 	}
+	for v := 0; v < n; v++ {
+		start[v+1] = start[v] + count[v]
+		count[v] = start[v] // reuse count as the fill cursor
+	}
+	if sc != nil {
+		if cap(sc.shFlat) < defined {
+			sc.shFlat = make([]ir.VarID, defined)
+		}
+		flat = sc.shFlat[:defined]
+	} else {
+		flat = make([]ir.VarID, defined)
+	}
+	for v := 0; v < n; v++ {
+		if m.Chk.DU.HasDef(ir.VarID(v)) {
+			val := m.Chk.Value(ir.VarID(v))
+			flat[count[val]] = ir.VarID(v)
+			count[val]++
+		}
+	}
+	membersOf := func(val ir.VarID) []ir.VarID { return flat[start[val]:start[val+1]] }
 
 	// Heaviest copies first: sharing opportunities consumed by cheap copies
 	// should not block expensive ones.
-	order := make([]int, 0, len(affs))
+	if sc != nil {
+		order = sc.shOrder[:0]
+	} else {
+		order = make([]int, 0, len(affs)) // the pre-pooling allocation shape
+	}
 	for i, s := range res.Statuses {
 		if s == Remaining {
 			order = append(order, i)
 		}
+	}
+	if sc != nil {
+		sc.shOrder = order
 	}
 	sort.SliceStable(order, func(x, y int) bool {
 		return affs[order[x]].Weight > affs[order[y]].Weight
@@ -44,7 +87,7 @@ func Share(m *Machinery, affs []sreedhar.Affinity, res *Result) int {
 	for _, i := range order {
 		a := affs[i]
 		src, dst := a.Src, a.Dst
-		for _, c := range valueMembers[m.Chk.Value(src)] {
+		for _, c := range membersOf(m.Chk.Value(src)) {
 			if c == src || c == dst {
 				continue
 			}

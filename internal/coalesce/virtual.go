@@ -19,6 +19,12 @@ import (
 // that operand is detached and materialized as well; primed variables of
 // one φ never conflict with each other (Lemma 1), so the cascade
 // terminates.
+//
+// The per-φ working state — the weighted operand items and the attached
+// member classes — lives in flat value slices drawn from the machinery's
+// Scratch (fresh ones per φ when it is nil). Items remember the attached
+// member by a stable per-φ id, so detaching a member is a scan over the
+// item slice instead of a per-member allocated list.
 type Virtualizer struct {
 	M   *Machinery
 	Ins *sreedhar.Insertion // pre-created empty parallel copies
@@ -41,17 +47,20 @@ type VirtualResult struct {
 	RemovedWeight, RemainingWeight float64
 }
 
-// item is one φ operand to place into the φ-node.
-type item struct {
+// vitem is one φ operand to place into the φ-node.
+type vitem struct {
 	v      ir.VarID
-	pred   int // predecessor index; -1 for the φ result
+	pred   int32 // predecessor index; -1 for the φ result
 	weight float64
+	member int32 // id of the member the item attached through; -1 = none
 }
 
-// member is one congruence class attached to the φ-node under construction.
-type member struct {
-	rep   ir.VarID
-	items []*item // operands that attached through this class
+// vmember is one congruence class attached to the φ-node under
+// construction. The id is stable for the φ's lifetime even as members are
+// removed, so items can refer to their member without per-member lists.
+type vmember struct {
+	rep ir.VarID
+	id  int32
 }
 
 // Run virtualizes every φ-function of f. The function must already carry
@@ -70,10 +79,15 @@ func (vz *Virtualizer) Run(f *ir.Func) *VirtualResult {
 }
 
 func (vz *Virtualizer) phi(f *ir.Func, b *ir.Block, phi *ir.Instr, phiID int, res *VirtualResult) {
-	items := make([]*item, 0, len(phi.Uses)+1)
-	items = append(items, &item{v: phi.Defs[0], pred: -1, weight: b.Freq})
+	sc := vz.M.Scratch
+	var items []vitem
+	var members []vmember
+	if sc != nil {
+		items, members = sc.items[:0], sc.members[:0]
+	}
+	items = append(items, vitem{v: phi.Defs[0], pred: -1, weight: b.Freq, member: -1})
 	for i := range phi.Uses {
-		items = append(items, &item{v: phi.Uses[i], pred: i, weight: b.Preds[i].Freq})
+		items = append(items, vitem{v: phi.Uses[i], pred: int32(i), weight: b.Preds[i].Freq, member: -1})
 	}
 	// Decreasing weight, result first on ties (stable order).
 	for i := 1; i < len(items); i++ {
@@ -82,52 +96,60 @@ func (vz *Virtualizer) phi(f *ir.Func, b *ir.Block, phi *ir.Instr, phiID int, re
 		}
 	}
 
-	var members []*member
-	for _, it := range items {
-		if vz.attach(it, &members, res) {
+	nextID := int32(0)
+	for idx := range items {
+		if vz.attach(idx, items, &members, &nextID) {
 			res.Removed++
-			res.RemovedWeight += it.weight
+			res.RemovedWeight += items[idx].weight
 			continue
 		}
-		p := vz.materialize(f, b, phi, it, phiID, res)
+		p := vz.materialize(f, b, phi, &items[idx], phiID, res)
 		// The primed variable must join the φ-node; conflicts with
 		// already-attached operand classes detach (and materialize) them.
-		vz.attachPrimed(f, b, phi, p, phiID, &members, res)
+		vz.attachPrimed(f, b, phi, p, phiID, items, &members, &nextID, res)
 	}
 	// All attached classes were pairwise checked: coalesce them into the
 	// φ-node congruence class.
 	for i := 1; i < len(members); i++ {
 		vz.M.Classes.MergeForced(members[0].rep, members[i].rep)
 	}
+	if sc != nil {
+		sc.items, sc.members = items[:0], members[:0]
+	}
 }
 
-// attach tries to add it's congruence class to the φ-node. It reports
-// success; on failure the caller materializes a copy.
-func (vz *Virtualizer) attach(it *item, members *[]*member, res *VirtualResult) bool {
+// attach tries to add items[idx]'s congruence class to the φ-node. It
+// reports success; on failure the caller materializes a copy.
+func (vz *Virtualizer) attach(idx int, items []vitem, members *[]vmember, nextID *int32) bool {
+	it := &items[idx]
 	cls := vz.M.Classes.Find(it.v)
-	for _, m := range *members {
-		if vz.M.Classes.Find(m.rep) == cls {
-			m.items = append(m.items, it)
+	for mi := range *members {
+		if vz.M.Classes.Find((*members)[mi].rep) == cls {
+			it.member = (*members)[mi].id
 			return true // already part of the φ-node
 		}
 	}
-	for _, m := range *members {
-		if ClassesInterfere(vz.M, vz.Variant, it.v, m.rep, ir.NoVar, ir.NoVar) {
+	for mi := range *members {
+		if ClassesInterfere(vz.M, vz.Variant, it.v, (*members)[mi].rep, ir.NoVar, ir.NoVar) {
 			return false
 		}
 	}
-	*members = append(*members, &member{rep: cls, items: []*item{it}})
+	id := *nextID
+	*nextID++
+	*members = append(*members, vmember{rep: cls, id: id})
+	it.member = id
 	return true
 }
 
 // attachPrimed inserts the freshly materialized variable p into the φ-node,
 // detaching and materializing any attached operand class it conflicts with.
-func (vz *Virtualizer) attachPrimed(f *ir.Func, b *ir.Block, phi *ir.Instr, p ir.VarID, phiID int, members *[]*member, res *VirtualResult) {
+func (vz *Virtualizer) attachPrimed(f *ir.Func, b *ir.Block, phi *ir.Instr, p ir.VarID, phiID int,
+	items []vitem, members *[]vmember, nextID *int32, res *VirtualResult) {
 	for {
 		conflict := -1
-		for i, m := range *members {
-			if ClassesInterfere(vz.M, vz.Variant, p, m.rep, ir.NoVar, ir.NoVar) {
-				conflict = i
+		for mi := range *members {
+			if ClassesInterfere(vz.M, vz.Variant, p, (*members)[mi].rep, ir.NoVar, ir.NoVar) {
+				conflict = mi
 				break
 			}
 		}
@@ -139,21 +161,27 @@ func (vz *Virtualizer) attachPrimed(f *ir.Func, b *ir.Block, phi *ir.Instr, p ir
 		// Every operand that attached through this class loses its free
 		// ride: each gets its own materialized copy (which, being primed,
 		// cannot conflict with p or other primed variables).
-		for _, it := range m.items {
+		for idx := range items {
+			if items[idx].member != m.id {
+				continue
+			}
+			items[idx].member = -1
 			res.Removed--
-			res.RemovedWeight -= it.weight
-			q := vz.materialize(f, b, phi, it, phiID, res)
-			vz.attachPrimed(f, b, phi, q, phiID, members, res)
+			res.RemovedWeight -= items[idx].weight
+			q := vz.materialize(f, b, phi, &items[idx], phiID, res)
+			vz.attachPrimed(f, b, phi, q, phiID, items, members, nextID, res)
 		}
 	}
-	*members = append(*members, &member{rep: vz.M.Classes.Find(p)})
+	id := *nextID
+	*nextID++
+	*members = append(*members, vmember{rep: vz.M.Classes.Find(p), id: id})
 }
 
 // materialize appends the real copy for it to the pre-created parallel
 // copy, creating the primed variable, rewriting the φ, and updating the
 // def-use index, the value table, the liveness sets, and the interference
 // graph as configured. It returns the primed variable.
-func (vz *Virtualizer) materialize(f *ir.Func, b *ir.Block, phi *ir.Instr, it *item, phiID int, res *VirtualResult) ir.VarID {
+func (vz *Virtualizer) materialize(f *ir.Func, b *ir.Block, phi *ir.Instr, it *vitem, phiID int, res *VirtualResult) ir.VarID {
 	chk := vz.M.Chk
 	du := chk.DU
 	if it.pred < 0 {
@@ -162,7 +190,7 @@ func (vz *Virtualizer) materialize(f *ir.Func, b *ir.Block, phi *ir.Instr, it *i
 		a0 := it.v
 		begin := vz.Ins.BeginCopies[b.ID]
 		slot := slotOf(b, begin)
-		p := f.NewVar(f.VarName(a0) + "'")
+		p := f.NewDerivedVar(a0)
 		chk.Vals = append(chk.Vals, chk.Vals[a0]) // a0 is a copy of p: same value class
 		begin.Defs = append(begin.Defs, a0)
 		begin.Uses = append(begin.Uses, p)
@@ -185,7 +213,7 @@ func (vz *Virtualizer) materialize(f *ir.Func, b *ir.Block, phi *ir.Instr, it *i
 	pred := b.Preds[it.pred]
 	end := vz.Ins.EndCopies[pred.ID]
 	slot := slotOf(pred, end)
-	p := f.NewVar(f.VarName(ai) + "'")
+	p := f.NewDerivedVar(ai)
 	chk.Vals = append(chk.Vals, chk.Vals[ai]) // the copy gives p the value of ai
 	end.Defs = append(end.Defs, p)
 	end.Uses = append(end.Uses, ai)

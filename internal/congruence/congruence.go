@@ -39,9 +39,10 @@ type Classes struct {
 	// as one-element subslices of it instead of allocating per call.
 	singles []ir.VarID
 
-	// spare holds backing arrays retired by merges, reused by later merges
-	// that outgrow both inputs.
-	spare [][]ir.VarID
+	// pool recycles member-list backing arrays retired by merges. It is
+	// private by default; NewIn installs a caller-owned pool so successive
+	// translations (and Retire at the end of each) share one set of arrays.
+	pool *ListPool
 
 	// stack is the reusable dominance-forest traversal stack of the linear
 	// checks and of recomputeEqualAnc (one live traversal at a time).
@@ -67,12 +68,52 @@ type Classes struct {
 	Tests int
 }
 
+// ListPool recycles class member-list backing arrays. One pool may serve
+// many Classes instances sequentially (NewIn + Retire); sharing it across
+// translations is what keeps steady-state coalescing free of per-merge
+// allocations even though every translation starts fresh classes.
+type ListPool struct {
+	spare [][]ir.VarID
+}
+
+// put retires a backing array for reuse by later merges.
+func (p *ListPool) put(a []ir.VarID) {
+	if cap(a) == 0 {
+		return
+	}
+	p.spare = append(p.spare, a[:0])
+}
+
+// take returns an empty list with capacity at least need, preferring a
+// retired backing array over a fresh allocation.
+func (p *ListPool) take(need int) []ir.VarID {
+	for i := len(p.spare) - 1; i >= 0; i-- {
+		if cap(p.spare[i]) >= need {
+			s := p.spare[i]
+			p.spare = append(p.spare[:i], p.spare[i+1:]...)
+			return s[:0]
+		}
+	}
+	return make([]ir.VarID, 0, need+need/2+4)
+}
+
 // New returns singleton classes over the variable universe of chk. The
 // Reference flag of chk carries over, so a reference checker drives a
 // reference merge path too.
 func New(chk *interference.Checker) *Classes {
+	return NewIn(chk, nil)
+}
+
+// NewIn is New with a caller-owned list pool feeding the merge storage;
+// nil selects a private pool. Pair it with Retire to hand the grown arrays
+// back when the classes are done.
+func NewIn(chk *interference.Checker, pool *ListPool) *Classes {
+	if pool == nil {
+		pool = &ListPool{}
+	}
 	n := len(chk.F.Vars)
 	c := &Classes{
+		pool:        pool,
 		chk:         chk,
 		parent:      make([]ir.VarID, n),
 		size:        make([]int32, n),
@@ -156,3 +197,19 @@ func (c *Classes) less(a, b ir.VarID) bool {
 // EqualAncIn exposes the per-variable equal-intersecting-ancestor within
 // its class (testing hook).
 func (c *Classes) EqualAncIn(v ir.VarID) ir.VarID { return c.equalAncIn[v] }
+
+// Retire hands every live member list back to the classes' pool. The
+// Classes must not be used afterwards; the translator calls it once the
+// rewrite phase no longer needs class membership, so the next translation's
+// merges reuse the arrays.
+func (c *Classes) Retire() {
+	if c.Reference {
+		return // reference merges allocate exact-size lists by design
+	}
+	for i, l := range c.lists {
+		if l != nil {
+			c.pool.put(l)
+			c.lists[i] = nil
+		}
+	}
+}

@@ -135,26 +135,11 @@ func (c *Classes) mergeBackward(out, x, y []ir.VarID) []ir.VarID {
 	return out
 }
 
-// takeList returns an empty list with capacity at least need, preferring a
-// retired backing array over a fresh allocation.
-func (c *Classes) takeList(need int) []ir.VarID {
-	for i := len(c.spare) - 1; i >= 0; i-- {
-		if cap(c.spare[i]) >= need {
-			s := c.spare[i]
-			c.spare = append(c.spare[:i], c.spare[i+1:]...)
-			return s[:0]
-		}
-	}
-	return make([]ir.VarID, 0, need+need/2+4)
-}
+// takeList returns an empty list with capacity at least need from the pool.
+func (c *Classes) takeList(need int) []ir.VarID { return c.pool.take(need) }
 
 // releaseList retires a backing array for reuse by later merges.
-func (c *Classes) releaseList(a []ir.VarID) {
-	if cap(a) == 0 {
-		return
-	}
-	c.spare = append(c.spare, a[:0])
-}
+func (c *Classes) releaseList(a []ir.VarID) { c.pool.put(a) }
 
 // maxPre returns the nearer of two dominating ancestors: the one whose
 // definition point comes later in pre-DFS order. NoVar loses to anything.

@@ -120,6 +120,18 @@ type Options struct {
 	// tests and as the fixed baseline of the coalescing trajectory
 	// benchmark (BENCH_coalesce.json).
 	ReferenceQueries bool
+	// ReferenceAlloc runs the mutation phases without any pooled working
+	// state: a fresh Insertion per translation, freshly allocated coalescer
+	// buffers and congruence list storage, the kept map-based parallel-copy
+	// sequentializer, and the double-copy instruction splice. No pooled
+	// Scratch is attached. Results are identical; only allocation traffic
+	// differs. It is the fixed baseline of the translate trajectory
+	// benchmark (BENCH_translate.json), isolating the pooling/reuse delta;
+	// structural improvements shared by both engines (slab-allocated IR,
+	// CSR-built def-use and sharing indexes, the value-slice virtualizer)
+	// benefit the reference rows too, so the measured gap understates the
+	// distance to the true pre-PR code.
+	ReferenceAlloc bool
 }
 
 // Validate rejects inconsistent option combinations.
@@ -218,6 +230,14 @@ type Translation struct {
 	// def-use index it maintains while materializing virtualized copies.
 	An *analysis.Cache
 
+	// sc is the pooled working state of the mutation phases; nil under
+	// Options.ReferenceAlloc. Insert draws one from the package pool unless
+	// SetScratch installed a caller-owned scratch first (the batch driver
+	// threads one per worker); pool-drawn scratches go back at the end of
+	// Rewrite.
+	sc     *Scratch
+	pooled bool
+
 	stage int // next phase to run: 0 insert, 1 analyze, 2 coalesce, 3 rewrite, 4 done
 
 	// Intermediates handed from phase to phase.
@@ -249,6 +269,76 @@ func NewTranslation(f *ir.Func, opt Options, an *analysis.Cache) (*Translation, 
 	return &Translation{F: f, Opt: opt, Stats: &Stats{}, An: an}, nil
 }
 
+// SetScratch installs a caller-owned Scratch the mutation phases will work
+// in; it must be called before Insert. The caller keeps ownership: the
+// scratch is reusable (not concurrently) for the next translation as soon
+// as Rewrite finished. Under Options.ReferenceAlloc the call is ignored —
+// the reference baseline allocates fresh working state by design.
+func (t *Translation) SetScratch(sc *Scratch) {
+	if t.Opt.ReferenceAlloc {
+		return
+	}
+	t.sc = sc
+	t.pooled = false
+}
+
+// ensureScratch attaches a pool-drawn scratch when none was installed.
+func (t *Translation) ensureScratch() {
+	if t.sc == nil && !t.Opt.ReferenceAlloc {
+		t.sc = GetScratch()
+		t.pooled = true
+	}
+}
+
+// releaseScratch detaches the scratch at the end of Rewrite, saving the
+// grown affinity buffer and the congruence member lists back and returning
+// pool-drawn scratches.
+func (t *Translation) releaseScratch() {
+	if t.sc == nil {
+		return
+	}
+	t.sc.affs = t.affs[:0]
+	t.affs = nil
+	t.ins = nil
+	if t.classes != nil {
+		t.classes.Retire()
+	}
+	if t.pooled {
+		PutScratch(t.sc)
+	}
+	t.sc = nil
+}
+
+// listPool returns the congruence member-list pool (nil for the reference
+// baseline, selecting per-instance storage).
+func (t *Translation) listPool() *congruence.ListPool {
+	if t.sc == nil {
+		return nil
+	}
+	return &t.sc.lists
+}
+
+// newInsertion returns the insertion storage for a function of nblocks
+// blocks: the scratch's recycled one, or a fresh one for the reference
+// baseline.
+func (t *Translation) newInsertion(nblocks int) *sreedhar.Insertion {
+	ins := &sreedhar.Insertion{}
+	if t.sc != nil {
+		ins = &t.sc.ins
+	}
+	ins.Reset(nblocks)
+	return ins
+}
+
+// coScratch returns the coalescer's scratch view (nil for the reference
+// baseline).
+func (t *Translation) coScratch() *coalesce.Scratch {
+	if t.sc == nil {
+		return nil
+	}
+	return &t.sc.co
+}
+
 // backend returns the liveness-set representation the options select.
 func (t *Translation) backend() liveness.Backend {
 	if t.Opt.OrderedSets {
@@ -274,6 +364,7 @@ func (t *Translation) Insert() error {
 	if err != nil {
 		return err
 	}
+	t.ensureScratch()
 	f, st := t.F, t.Stats
 
 	// Normalize duplicate-pred edges and split edges whose φ argument is
@@ -290,14 +381,11 @@ func (t *Translation) Insert() error {
 	}
 	st.Blocks = len(f.Blocks)
 
+	t.ins = t.newInsertion(len(f.Blocks))
 	if t.Opt.Virtualize {
-		t.ins = &sreedhar.Insertion{
-			BeginCopies: make([]*ir.Instr, len(f.Blocks)),
-			EndCopies:   make([]*ir.Instr, len(f.Blocks)),
-		}
 		sreedhar.PrepareParallelCopies(f, t.ins)
 	} else {
-		if t.ins, err = sreedhar.InsertCopies(f); err != nil {
+		if err := sreedhar.InsertCopiesInto(f, t.ins); err != nil {
 			return err
 		}
 	}
@@ -363,10 +451,13 @@ func (t *Translation) Coalesce() error {
 		F: f, DT: t.An.Dom(), DU: t.An.DefUse(), Live: t.oracle(), Vals: t.vals,
 		Reference: opt.ReferenceQueries,
 	}
-	t.classes = congruence.New(t.chk)
+	t.classes = congruence.NewIn(t.chk, t.listPool())
 	precoalescePinned(f, t.classes)
-	m := &coalesce.Machinery{Chk: t.chk, Classes: t.classes, Graph: t.graph, Linear: opt.Linear}
+	m := &coalesce.Machinery{Chk: t.chk, Classes: t.classes, Graph: t.graph, Linear: opt.Linear, Scratch: t.coScratch()}
 
+	if t.sc != nil {
+		t.affs = t.sc.affs[:0]
+	}
 	// φ-nodes of Method I are coalesced by construction (Lemma 1).
 	if !opt.Virtualize {
 		for _, node := range t.ins.PhiNodes {
@@ -376,7 +467,7 @@ func (t *Translation) Coalesce() error {
 		}
 		t.affs = append(t.affs, t.ins.Affinities...)
 	}
-	t.affs = append(t.affs, sreedhar.CollectRealCopies(f, t.ins)...)
+	t.affs = sreedhar.CollectRealCopiesInto(f, t.ins, t.affs)
 
 	if opt.Virtualize {
 		vz := &coalesce.Virtualizer{M: m, Ins: t.ins, Variant: engineVariant(opt.Strategy), Live: t.live}
@@ -433,7 +524,7 @@ func (t *Translation) Rewrite() error {
 	}
 	f, st := t.F, t.Stats
 
-	rewrite(f, t.classes, t.An.DefUse(), t.affs, t.res.Statuses, t.Opt.KeepParallelCopies, st)
+	rewrite(f, t.classes, t.An.DefUse(), t.affs, t.res.Statuses, t.Opt.KeepParallelCopies, st, t.sc)
 	f.MarkCodeMutated() // renaming edits operands in place
 
 	// Pessimistically split edges whose copies all coalesced away leave a
@@ -444,6 +535,7 @@ func (t *Translation) Rewrite() error {
 	st.Vars = len(f.Vars)
 	fillFootprint(st, f, t.graph, t.live, t.lck)
 	st.IntersectionTests = t.chk.Queries
+	t.releaseScratch()
 	if err := ir.Verify(f); err != nil {
 		return fmt.Errorf("core: translated function fails verification: %w", err)
 	}
@@ -466,12 +558,27 @@ func Translate(f *ir.Func, opt Options) (*Stats, error) {
 // translation shares dominance, def-use, and liveness with surrounding
 // passes. an may be nil.
 func TranslateWith(f *ir.Func, opt Options, an *analysis.Cache) (*Stats, error) {
+	return TranslateInto(f, opt, an, nil)
+}
+
+// TranslateInto is TranslateWith with an explicit, caller-owned Scratch —
+// batch drivers hand every function translated by one worker the same
+// scratch. sc may be nil, in which case (unless opt.ReferenceAlloc) the
+// translation draws one from the package pool for its own duration.
+func TranslateInto(f *ir.Func, opt Options, an *analysis.Cache, sc *Scratch) (*Stats, error) {
 	t, err := NewTranslation(f, opt, an)
 	if err != nil {
 		return nil, err
 	}
+	if sc != nil {
+		t.SetScratch(sc)
+	}
 	for _, phase := range []func() error{t.Insert, t.Analyze, t.Coalesce, t.Rewrite} {
 		if err := phase(); err != nil {
+			// A failed phase must not strand a pool-drawn scratch or the
+			// grown buffers a caller-owned one would get back at the end of
+			// Rewrite.
+			t.releaseScratch()
 			return t.Stats, err
 		}
 	}
@@ -520,12 +627,17 @@ func splitAllCritical(f *ir.Func) int {
 }
 
 // precoalescePinned merges all variables pinned to one architectural
-// register into a single labeled class (Section III-D).
+// register into a single labeled class (Section III-D). The register map is
+// created lazily: functions without pinned variables — the common case —
+// pay nothing.
 func precoalescePinned(f *ir.Func, classes *congruence.Classes) {
-	byReg := map[string]ir.VarID{}
+	var byReg map[string]ir.VarID
 	for i, v := range f.Vars {
 		if v.Reg == "" {
 			continue
+		}
+		if byReg == nil {
+			byReg = map[string]ir.VarID{}
 		}
 		if first, ok := byReg[v.Reg]; ok {
 			classes.MergeForced(first, ir.VarID(i))

@@ -12,9 +12,15 @@ import (
 // congruence-class representative, φ-functions are removed, coalesced and
 // shared copies disappear, and the remaining parallel copies are
 // sequentialized with the optimal algorithm of Section III-C.
+//
+// sc supplies the phase's working state: the duplicate-destination stamps
+// of pruneParCopy and the sequentializer's tables. A nil sc (the
+// ReferenceAlloc baseline) falls back to the pre-pooling behavior — a map
+// per parallel copy, the map-based sequentializer, and the double-copy
+// instruction splice.
 func rewrite(f *ir.Func, classes *congruence.Classes, du *ir.DefUse,
 	affs []sreedhar.Affinity, statuses []coalesce.Status,
-	keepParallel bool, st *Stats) {
+	keepParallel bool, st *Stats, sc *Scratch) {
 
 	// Copies removed by sharing are deleted although their endpoints are in
 	// different classes: another member of the destination class already
@@ -49,7 +55,9 @@ func rewrite(f *ir.Func, classes *congruence.Classes, du *ir.DefUse,
 	liveDst := func(v ir.VarID) bool { return len(du.Uses(v)) > 0 }
 
 	for _, b := range f.Blocks {
-		b.Phis = nil // φ-functions dissolve into their congruence class
+		// φ-functions dissolve into their congruence class; the truncation
+		// keeps the backing array for the block's next incarnation.
+		b.Phis = b.Phis[:0]
 		out := b.Instrs[:0]
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpNop {
@@ -73,7 +81,7 @@ func rewrite(f *ir.Func, classes *congruence.Classes, du *ir.DefUse,
 					continue // coalesced: self copy
 				}
 			case ir.OpParCopy:
-				pruneParCopy(in)
+				pruneParCopy(in, sc, len(f.Vars))
 				if len(in.Defs) == 0 {
 					continue
 				}
@@ -84,6 +92,7 @@ func rewrite(f *ir.Func, classes *congruence.Classes, du *ir.DefUse,
 	}
 
 	if !keepParallel {
+		fresh := func() ir.VarID { return f.NewVar("swap") }
 		for _, b := range f.Blocks {
 			for idx := 0; idx < len(b.Instrs); idx++ {
 				in := b.Instrs[idx]
@@ -91,9 +100,12 @@ func rewrite(f *ir.Func, classes *congruence.Classes, du *ir.DefUse,
 					continue
 				}
 				pairs := len(in.Defs)
-				seq := parcopy.SequentializeInstr(f, b, idx, func() ir.VarID {
-					return f.NewVar("swap")
-				})
+				var seq []parcopy.Copy
+				if sc != nil {
+					seq = sc.par.SequentializeInstr(f, b, idx, fresh)
+				} else {
+					seq = parcopy.SequentializeInstrReference(f, b, idx, fresh)
+				}
 				st.CycleCopies += len(seq) - pairs
 				idx += len(seq) - 1
 			}
@@ -137,16 +149,38 @@ func dropDeadPairs(in *ir.Instr, liveDst func(ir.VarID) bool) {
 // pruneParCopy drops self pairs and duplicate destinations after renaming.
 // Two live pairs writing the same destination can only survive coalescing
 // when their sources carry the same value (paper, Section III-C), so
-// keeping the first is safe; dead pairs were removed beforehand.
-func pruneParCopy(in *ir.Instr) {
-	seen := map[ir.VarID]bool{}
+// keeping the first is safe; dead pairs were removed beforehand. The
+// duplicate check uses the scratch's epoch-stamped table when available and
+// a fresh map (the reference baseline) otherwise.
+func pruneParCopy(in *ir.Instr, sc *Scratch, nvars int) {
+	var stamp []uint32
+	var epoch uint32
+	var seen map[ir.VarID]bool
+	if sc != nil {
+		stamp, epoch = sc.stampFor(nvars)
+	} else {
+		seen = map[ir.VarID]bool{}
+	}
+	dup := func(d ir.VarID) bool {
+		if stamp != nil {
+			if stamp[d] == epoch {
+				return true
+			}
+			stamp[d] = epoch
+			return false
+		}
+		if seen[d] {
+			return true
+		}
+		seen[d] = true
+		return false
+	}
 	defs, uses := in.Defs[:0], in.Uses[:0]
 	for i, d := range in.Defs {
 		s := in.Uses[i]
-		if d == s || seen[d] {
+		if d == s || dup(d) {
 			continue
 		}
-		seen[d] = true
 		defs = append(defs, d)
 		uses = append(uses, s)
 	}

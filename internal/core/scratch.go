@@ -1,0 +1,69 @@
+package core
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/coalesce"
+	"repro/internal/congruence"
+	"repro/internal/parcopy"
+	"repro/internal/sreedhar"
+)
+
+// Scratch owns the reusable working state of one translation's mutation
+// phases: the copy-insertion carriers and φ-node lists (a recycled
+// sreedhar.Insertion), the affinity buffer the coalescing phase collects
+// into, the coalescer's sort/virtualizer/sharing buffers, the parallel-copy
+// sequentializer's tables, and the rewrite phase's duplicate-destination
+// stamps. It mirrors liveness.Scratch: a Scratch may be reused across
+// functions of any size (buffers grow and are invalidated per run) but not
+// concurrently.
+//
+// Translate draws a Scratch from a package pool per call; the batch driver
+// (internal/pipeline) instead holds one per worker and threads it through
+// every function the worker translates, which is what makes steady-state
+// batch translation allocation-free (amortized). Nothing handed out by a
+// Scratch survives the translation that used it: the rewrite phase ends the
+// scratch's involvement, and the translated function only references
+// arena memory owned by the function itself (ir slab allocation).
+type Scratch struct {
+	ins   sreedhar.Insertion
+	affs  []sreedhar.Affinity
+	par   parcopy.Scratch
+	co    coalesce.Scratch
+	lists congruence.ListPool
+
+	// stamp/epoch implement the rewrite phase's per-parallel-copy duplicate
+	// destination check without a per-instruction map.
+	stamp []uint32
+	epoch uint32
+}
+
+// NewScratch returns an empty scratch for explicit reuse across
+// translations.
+func NewScratch() *Scratch { return &Scratch{} }
+
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+// GetScratch draws a scratch from the package pool.
+func GetScratch() *Scratch { return scratchPool.Get().(*Scratch) }
+
+// PutScratch returns a scratch to the package pool. The caller must not use
+// it afterwards.
+func PutScratch(sc *Scratch) { scratchPool.Put(sc) }
+
+// stampFor returns the duplicate-destination stamp table sized for n
+// variables with a fresh epoch.
+func (sc *Scratch) stampFor(n int) ([]uint32, uint32) {
+	if sc.epoch == math.MaxUint32 {
+		for i := range sc.stamp {
+			sc.stamp[i] = 0
+		}
+		sc.epoch = 0
+	}
+	sc.epoch++
+	if len(sc.stamp) < n {
+		sc.stamp = make([]uint32, n)
+	}
+	return sc.stamp, sc.epoch
+}

@@ -74,8 +74,29 @@ func Build(f *ir.Func) *Tree {
 		}
 	}
 
-	// Children lists and DFS numbering of the dominator tree.
+	// Children lists and DFS numbering of the dominator tree. The lists are
+	// carved out of one flat array (CSR layout): counting pass, region
+	// carve, fill pass — a constant number of allocations instead of one
+	// append chain per interior node.
 	t.children = make([][]int, n)
+	counts := make([]int32, n)
+	total := 0
+	for _, b := range t.rpo {
+		if b == entry {
+			continue
+		}
+		counts[t.idom[b]]++
+		total++
+	}
+	flat := make([]int, total)
+	off := 0
+	for p, c := range counts {
+		if c == 0 {
+			continue
+		}
+		t.children[p] = flat[off : off : off+int(c)]
+		off += int(c)
+	}
 	for _, b := range t.rpo {
 		if b == entry {
 			continue

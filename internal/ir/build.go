@@ -140,7 +140,7 @@ func SplitEdge(f *Func, from, to *Block) *Block {
 	if to.Freq < nb.Freq {
 		nb.Freq = to.Freq
 	}
-	nb.Instrs = []*Instr{{Op: OpJump}}
+	nb.Instrs = append(nb.Instrs, f.NewInstr(OpJump))
 	for i, s := range from.Succs {
 		if s == to {
 			from.Succs[i] = nb
@@ -153,7 +153,10 @@ func SplitEdge(f *Func, from, to *Block) *Block {
 			break
 		}
 	}
-	nb.Preds = []*Block{from}
-	nb.Succs = []*Block{to}
+	// Append into the (truncated) recycled backing rather than allocating
+	// fresh one-element slices — edge splitting runs on the steady-state
+	// translation path.
+	nb.Preds = append(nb.Preds, from)
+	nb.Succs = append(nb.Succs, to)
 	return nb
 }

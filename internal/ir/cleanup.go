@@ -47,8 +47,8 @@ func CleanupJumpBlocks(f *Func) int {
 					}
 				}
 			}
-			b.Preds = nil
-			b.Succs = nil
+			b.Preds = b.Preds[:0] // detach, keeping the backing for reuse
+			b.Succs = b.Succs[:0]
 			removed++
 			changed = true
 		}
@@ -73,22 +73,27 @@ func canBypass(b, target *Block) bool {
 			}
 		}
 	}
-	seen := map[*Block]bool{}
-	for _, p := range b.Preds {
-		if seen[p] {
-			return false
+	// Quadratic duplicate scan: predecessor lists are short, and a map here
+	// would allocate once per candidate block on the rewrite hot path.
+	for i, p := range b.Preds {
+		for j := 0; j < i; j++ {
+			if b.Preds[j] == p {
+				return false
+			}
 		}
-		seen[p] = true
 	}
 	return true
 }
 
-// compact drops unreachable/detached blocks and renumbers IDs.
+// compact drops unreachable/detached blocks (retiring their records for
+// reuse) and renumbers IDs.
 func compact(f *Func) {
 	keep := f.Blocks[:0]
 	for _, b := range f.Blocks {
 		if b == f.Entry() || len(b.Preds) > 0 || len(b.Succs) > 0 {
 			keep = append(keep, b)
+		} else {
+			f.retireBlock(b)
 		}
 	}
 	f.Blocks = keep

@@ -1,0 +1,85 @@
+package ir_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+)
+
+const cloneSrc = `
+func clonetest {
+entry:
+  x = param 0
+  y = param 1
+  c = cmplt x y
+  br c a b
+a:
+  s = add x y
+  jump join
+b:
+  t = sub x y
+  c2 = copy t
+  jump join
+join:
+  m = phi a:s b:c2
+  print m
+  ret m
+}
+`
+
+// TestCloneIntoMatchesClone: CloneInto produces the same function text as
+// Clone, and the rebuilt destination is fully detached from the source.
+func TestCloneIntoMatchesClone(t *testing.T) {
+	src, err := ir.Parse(cloneSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ir.Clone(src).String()
+	dst := ir.NewFunc("")
+	if got := ir.CloneInto(dst, src).String(); got != want {
+		t.Fatalf("CloneInto differs from Clone:\n--- Clone\n%s--- CloneInto\n%s", want, got)
+	}
+	// Mutating the copy must not touch the source.
+	dst.Blocks[0].Instrs[0].Defs[0] = 1
+	dst.Vars[0].Name = "zzz"
+	if src.String() == dst.String() {
+		t.Fatal("mutating the CloneInto copy leaked into the source")
+	}
+}
+
+// TestCloneIntoReuse: recycling one destination across many CloneInto calls
+// — including after the destination grew (extra vars, blocks, instructions)
+// — always reproduces the source exactly.
+func TestCloneIntoReuse(t *testing.T) {
+	src, err := ir.Parse(cloneSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := src.String()
+	dst := ir.NewFunc("")
+	for round := 0; round < 5; round++ {
+		ir.CloneInto(dst, src)
+		if got := dst.String(); got != want {
+			t.Fatalf("round %d: CloneInto drifted:\n%s", round, got)
+		}
+		// Grow the destination so the next round must rewind arenas and
+		// truncate slices.
+		v := dst.NewVar("extra")
+		b := dst.NewBlock("extra")
+		b.Instrs = append(b.Instrs, dst.NewCopy(v, v), dst.NewInstr(ir.OpRet))
+	}
+}
+
+// TestCloneIntoSteadyStateAllocs: warm CloneInto into a recycled
+// destination performs no heap allocation.
+func TestCloneIntoSteadyStateAllocs(t *testing.T) {
+	src, err := ir.Parse(cloneSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := ir.NewFunc("")
+	ir.CloneInto(dst, src) // warm the arenas and slice capacities
+	if n := testing.AllocsPerRun(50, func() { ir.CloneInto(dst, src) }); n > 0 {
+		t.Fatalf("warm CloneInto allocates %v times per run, want 0", n)
+	}
+}

@@ -45,6 +45,13 @@ type DefUse struct {
 
 // NewDefUse builds the index. The function must be in SSA form (each
 // variable defined at most once); a second definition panics.
+//
+// The use lists are carved out of one shared backing array: a counting pass
+// sizes every variable's region, a fill pass appends into it. Building the
+// index therefore costs a constant number of allocations instead of one per
+// variable; each list's capacity equals its length, so a later AddUse that
+// outgrows a region reallocates that list privately and can never clobber a
+// neighbour's.
 func NewDefUse(f *Func) *DefUse {
 	n := len(f.Vars)
 	du := &DefUse{
@@ -65,11 +72,16 @@ func NewDefUse(f *Func) *DefUse {
 		du.defSlot[v] = slot
 		du.defInstr[v] = in
 	}
+
+	// Pass 1: record definitions, count uses per variable.
+	counts := make([]int32, n)
+	total := 0
 	for _, b := range f.Blocks {
 		for _, in := range b.Phis {
 			def(in.Defs[0], b.ID, 0, in)
-			for i, u := range in.Uses {
-				du.uses[u] = append(du.uses[u], UseSite{Block: int32(b.Preds[i].ID), Slot: PhiUseSlot, Instr: in})
+			for _, u := range in.Uses {
+				counts[u]++
+				total++
 			}
 		}
 		for i, in := range b.Instrs {
@@ -78,10 +90,38 @@ func NewDefUse(f *Func) *DefUse {
 				def(d, b.ID, slot, in)
 			}
 			for _, u := range in.Uses {
+				counts[u]++
+				total++
+			}
+		}
+	}
+
+	// Carve per-variable regions out of one backing array.
+	backing := make([]UseSite, total)
+	off := 0
+	for v, c := range counts {
+		if c == 0 {
+			continue
+		}
+		du.uses[v] = backing[off : off : off+int(c)]
+		off += int(c)
+	}
+
+	// Pass 2: fill the regions (appends stay within the exact capacities).
+	for _, b := range f.Blocks {
+		for _, in := range b.Phis {
+			for i, u := range in.Uses {
+				du.uses[u] = append(du.uses[u], UseSite{Block: int32(b.Preds[i].ID), Slot: PhiUseSlot, Instr: in})
+			}
+		}
+		for i, in := range b.Instrs {
+			slot := SlotOfInstr(i)
+			for _, u := range in.Uses {
 				du.uses[u] = append(du.uses[u], UseSite{Block: int32(b.ID), Slot: slot, Instr: in})
 			}
 		}
 	}
+
 	// φ uses are recorded while visiting the φ block, not the predecessor,
 	// so the collected lists are not yet (block, slot)-sorted.
 	for _, us := range du.uses {

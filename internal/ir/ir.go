@@ -22,10 +22,19 @@ const NoVar VarID = -1
 // instruction. Reg, when non-empty, pins the variable to an architectural
 // register (calling conventions, dedicated registers); pinned variables are
 // handled as described in Section III-D of the paper.
+//
+// Name may be empty: VarName then synthesizes a printable name on demand —
+// "v<id>" for plain variables, the base's name plus a prime for variables
+// created with NewDerivedVar. Deferring the string keeps the translation
+// hot path free of per-variable string allocations.
 type Var struct {
 	ID   VarID
 	Name string
 	Reg  string
+
+	// base, when not NoVar, is the variable this one was derived from
+	// (NewDerivedVar); its display name is the base's name primed.
+	base VarID
 }
 
 // Op is an instruction opcode.
@@ -192,6 +201,18 @@ type Func struct {
 
 	cfgGen  uint64
 	codeGen uint64
+
+	// Chunked arenas backing the function's Instr/Var records and small
+	// operand slices (see slab.go). Their memory lives as long as the
+	// function and is rewound by CloneInto.
+	instrs instrArena
+	vars   varArena
+	ids    idArena
+
+	// spareBlocks recycles Block records detached by CleanupJumpBlocks or
+	// left over by CloneInto, so edge splitting and re-cloning reuse their
+	// records and edge/instruction slice backing.
+	spareBlocks []*Block
 }
 
 // CFGGen returns the generation of the block/edge structure.
@@ -216,14 +237,25 @@ func (f *Func) MarkCodeMutated() { f.codeGen++ }
 // NewFunc returns an empty function.
 func NewFunc(name string) *Func { return &Func{Name: name} }
 
-// NewVar adds a fresh variable with the given name to the universe.
+// NewVar adds a fresh variable with the given name to the universe. An
+// empty name is kept empty and synthesized lazily by VarName ("v<id>"), so
+// minting anonymous variables performs no string allocation.
 func (f *Func) NewVar(name string) VarID {
 	id := VarID(len(f.Vars))
-	if name == "" {
-		name = fmt.Sprintf("v%d", id)
-	}
-	f.Vars = append(f.Vars, &Var{ID: id, Name: name})
+	v := f.vars.alloc()
+	*v = Var{ID: id, Name: name, base: NoVar}
+	f.Vars = append(f.Vars, v)
 	f.MarkCodeMutated()
+	return id
+}
+
+// NewDerivedVar adds a fresh variable derived from base — the primed
+// variables a' of copy insertion. The display name is the base's name plus
+// a prime, synthesized only when asked for, so materializing copies does
+// not allocate name strings.
+func (f *Func) NewDerivedVar(base VarID) VarID {
+	id := f.NewVar("")
+	f.Vars[id].base = base
 	return id
 }
 
@@ -234,17 +266,28 @@ func (f *Func) NewPinnedVar(name, reg string) VarID {
 	return id
 }
 
-// VarName returns a printable name for v.
+// VarName returns a printable name for v, synthesizing one when the record
+// carries no explicit name: "v<id>" for plain variables, the base's name
+// primed for derived variables.
 func (f *Func) VarName(v VarID) string {
 	if v == NoVar {
 		return "_"
 	}
-	return f.Vars[v].Name
+	vr := f.Vars[v]
+	if vr.Name != "" {
+		return vr.Name
+	}
+	if vr.base != NoVar {
+		return f.VarName(vr.base) + "'"
+	}
+	return fmt.Sprintf("v%d", v)
 }
 
-// NewBlock appends a fresh block with frequency 1.
+// NewBlock appends a fresh block with frequency 1, reusing a recycled
+// block record (and its slice backing) when one is available.
 func (f *Func) NewBlock(name string) *Block {
-	b := &Block{ID: len(f.Blocks), Name: name, Freq: 1}
+	b := f.takeBlock()
+	b.ID, b.Name, b.Freq = len(f.Blocks), name, 1
 	if name == "" {
 		b.Name = fmt.Sprintf("b%d", b.ID)
 	}
@@ -252,6 +295,26 @@ func (f *Func) NewBlock(name string) *Block {
 	f.MarkCFGMutated()
 	return b
 }
+
+// takeBlock returns a cleared block record from the spare list, or a fresh
+// one. The record's slices are truncated, keeping their backing.
+func (f *Func) takeBlock() *Block {
+	n := len(f.spareBlocks)
+	if n == 0 {
+		return &Block{}
+	}
+	b := f.spareBlocks[n-1]
+	f.spareBlocks = f.spareBlocks[:n-1]
+	b.Preds = b.Preds[:0]
+	b.Succs = b.Succs[:0]
+	b.Phis = b.Phis[:0]
+	b.Instrs = b.Instrs[:0]
+	return b
+}
+
+// retireBlock hands a detached block record to the spare list for reuse.
+// The caller must ensure nothing references it anymore.
+func (f *Func) retireBlock(b *Block) { f.spareBlocks = append(f.spareBlocks, b) }
 
 // Entry returns the entry block.
 func (f *Func) Entry() *Block { return f.Blocks[0] }

@@ -251,53 +251,59 @@ func seedOrder(f *ir.Func, sc *Scratch) {
 }
 
 // computeBitsets runs the worklist fixpoint with dense bit-set storage:
-// every transfer is a whole-word union, no per-bit callbacks.
+// every transfer is a whole-word union, no per-bit callbacks. The result
+// sets are carved out of one batch backing (two allocations for all 2n
+// sets) and the interface wrappers live in one slice, so constructing the
+// result costs a constant number of allocations.
 func computeBitsets(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Set) {
 	n := len(f.Blocks)
 	nv := len(f.Vars)
-	ins := make([]*bitset.Set, n)
-	outs := make([]*bitset.Set, n)
+	sets := bitset.NewBatch(nv, 2*n) // [0,n) live-in, [n,2n) live-out
+	wrap := make([]bitSet, 2*n)
 	for i := 0; i < n; i++ {
-		ins[i] = bitset.New(nv)
-		outs[i] = bitset.New(nv)
-		ins[i].UnionWith(ue[i])
-		outs[i].UnionWith(po[i])
-		info.liveIn[i] = bitSet{ins[i]}
-		info.liveOut[i] = bitSet{outs[i]}
+		in, out := &sets[i], &sets[n+i]
+		in.UnionWith(ue[i])
+		out.UnionWith(po[i])
+		wrap[i] = bitSet{in}
+		wrap[n+i] = bitSet{out}
+		info.liveIn[i] = &wrap[i]
+		info.liveOut[i] = &wrap[n+i]
 	}
 	sc.runWorklist(f, info, func(b int) bool {
-		out := outs[b]
+		out := &sets[n+b]
 		for _, s := range f.Blocks[b].Succs {
-			out.UnionWith(ins[s.ID])
+			out.UnionWith(&sets[s.ID])
 		}
-		return ins[b].UnionWithAndNot(out, df[b])
+		return sets[b].UnionWithAndNot(out, df[b])
 	})
 }
 
 // computeOrdered runs the same worklist with sorted-slice storage. The
 // static ue/φ-edge contributions are snapshotted once as sorted slices so
-// the per-visit transfers are linear merges.
+// the per-visit transfers are linear merges. Like the bit-set backend, the
+// Ordered headers and interface wrappers come from two batch slices.
 func computeOrdered(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Set) {
 	n := len(f.Blocks)
-	ins := make([]*bitset.Ordered, n)
-	outs := make([]*bitset.Ordered, n)
+	sets := make([]bitset.Ordered, 2*n) // [0,n) live-in, [n,2n) live-out
+	wrap := make([]ordSet, 2*n)
 	var buf []int32 // seeding buffer, reused across blocks
 	for i := 0; i < n; i++ {
-		ins[i] = bitset.NewOrdered(0)
-		outs[i] = bitset.NewOrdered(0)
+		in, out := &sets[i], &sets[n+i]
 		buf = appendElems(buf[:0], ue[i])
-		ins[i].UnionSorted(buf)
+		in.UnionSorted(buf)
 		buf = appendElems(buf[:0], po[i])
-		outs[i].UnionSorted(buf)
-		info.liveIn[i] = ordSet{ins[i]}
-		info.liveOut[i] = ordSet{outs[i]}
+		out.UnionSorted(buf)
+		wrap[i] = ordSet{in}
+		wrap[n+i] = ordSet{out}
+		info.liveIn[i] = &wrap[i]
+		info.liveOut[i] = &wrap[n+i]
 	}
 	sc.runWorklist(f, info, func(b int) bool {
-		out := outs[b]
+		out := &sets[n+b]
 		for _, s := range f.Blocks[b].Succs {
-			out.UnionWith(ins[s.ID])
+			out.UnionWith(&sets[s.ID])
 		}
-		return ins[b].UnionWithAndNot(out, df[b])
+		return sets[b].UnionWithAndNot(out, df[b])
 	})
 }
 

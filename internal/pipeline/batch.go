@@ -93,14 +93,18 @@ func RunBatchFunc(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers in
 	}
 
 	if workers == 1 {
+		sc := core.GetScratch()
 		for i, f := range funcs {
 			if ctx.Err() != nil {
 				break
 			}
 			res.Contexts[i] = NewContext(f)
+			res.Contexts[i].Scratch = sc
 			res.Errs[i] = runSafe(ctx, p, res.Contexts[i])
+			res.Contexts[i].Scratch = nil
 			done(i)
 		}
+		core.PutScratch(sc)
 	} else {
 		next := make(chan int)
 		var wg sync.WaitGroup
@@ -108,9 +112,16 @@ func RunBatchFunc(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers in
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// One pooled scratch per worker: every function this worker
+				// translates reuses the same buffers, the point of the
+				// zero-steady-state-allocation design.
+				sc := core.GetScratch()
+				defer core.PutScratch(sc)
 				for i := range next {
 					res.Contexts[i] = NewContext(funcs[i])
+					res.Contexts[i].Scratch = sc
 					res.Errs[i] = runSafe(ctx, p, res.Contexts[i])
+					res.Contexts[i].Scratch = nil
 					done(i)
 				}
 			}()

@@ -67,6 +67,9 @@ func OutOfSSA(opt core.Options) []Pass {
 				if err != nil {
 					return err
 				}
+				if ctx.Scratch != nil {
+					t.SetScratch(ctx.Scratch)
+				}
 				ctx.Translation = t
 				return t.Insert()
 			},

@@ -57,6 +57,12 @@ type Context struct {
 	// liveness, the liveness checker, and the interference graph through
 	// it rather than computing their own.
 	Cache *Cache
+	// Scratch, when non-nil, is the pooled per-worker working state the
+	// out-of-SSA phases translate in. The batch driver installs one per
+	// worker so every function that worker processes reuses the same
+	// buffers; a nil Scratch makes the translation draw one from the core
+	// package pool for its own duration.
+	Scratch *core.Scratch
 
 	// Translation is the in-flight out-of-SSA translation, created by the
 	// insert pass and consumed by the analyze/coalesce/rewrite passes.

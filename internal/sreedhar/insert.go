@@ -30,7 +30,10 @@ type Affinity struct {
 	Instr    *ir.Instr // the OpCopy or OpParCopy carrying the copy
 }
 
-// Insertion is the result of Method I copy insertion.
+// Insertion is the result of Method I copy insertion. An Insertion may be
+// reused across functions — Reset rewinds it while keeping every backing
+// array — which is how the translator's pooled scratch keeps batch copy
+// insertion allocation-free in steady state.
 type Insertion struct {
 	// PhiNodes lists, per φ-function, the fresh variables a'0..a'n that
 	// constitute the φ-node and must be coalesced together (Lemma 1
@@ -43,6 +46,47 @@ type Insertion struct {
 	// created per block (nil where none was needed).
 	BeginCopies []*ir.Instr
 	EndCopies   []*ir.Instr
+
+	// nodeArena backs the PhiNodes entries: each node is an exact-capacity
+	// subslice, so one growing array serves all φ-node lists of a run.
+	nodeArena []ir.VarID
+	// need is PrepareParallelCopies' per-block pair-count scratch.
+	need []int32
+}
+
+// Reset prepares the insertion for a function of nblocks blocks, reusing
+// all backing arrays. Call it before InsertCopiesInto or
+// PrepareParallelCopies when recycling an Insertion.
+func (ins *Insertion) Reset(nblocks int) {
+	ins.BeginCopies = resetInstrSlice(ins.BeginCopies, nblocks)
+	ins.EndCopies = resetInstrSlice(ins.EndCopies, nblocks)
+	ins.PhiNodes = ins.PhiNodes[:0]
+	ins.Affinities = ins.Affinities[:0]
+	ins.nodeArena = ins.nodeArena[:0]
+}
+
+// resetInstrSlice returns s resized to n and cleared, reusing its capacity.
+func resetInstrSlice(s []*ir.Instr, n int) []*ir.Instr {
+	if cap(s) < n {
+		return make([]*ir.Instr, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = nil
+	}
+	return s
+}
+
+// resetI32 returns s resized to n and zeroed, reusing its capacity.
+func resetI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // InsertCopies applies Method I to f, which must be in SSA form: for every
@@ -56,22 +100,32 @@ type Insertion struct {
 // naming the offending edge; the caller must split it first (paper,
 // Figure 2).
 func InsertCopies(f *ir.Func) (*Insertion, error) {
-	if err := checkBranchDefs(f); err != nil {
+	ins := &Insertion{}
+	ins.Reset(len(f.Blocks))
+	if err := InsertCopiesInto(f, ins); err != nil {
 		return nil, err
 	}
-	ins := &Insertion{
-		BeginCopies: make([]*ir.Instr, len(f.Blocks)),
-		EndCopies:   make([]*ir.Instr, len(f.Blocks)),
+	return ins, nil
+}
+
+// InsertCopiesInto is InsertCopies into a caller-provided (typically
+// recycled) Insertion; ins must have been Reset for f's block count. The
+// primed variables are derived variables (ir.Func.NewDerivedVar) and the
+// φ-node lists live in the insertion's arena, so a warm Insertion performs
+// no per-φ allocation.
+func InsertCopiesInto(f *ir.Func, ins *Insertion) error {
+	if err := checkBranchDefs(f); err != nil {
+		return err
 	}
 	PrepareParallelCopies(f, ins)
 	phiID := 0
 	for _, b := range f.Blocks {
 		for _, phi := range b.Phis {
 			a0 := phi.Defs[0]
-			node := make([]ir.VarID, 0, len(phi.Uses)+1)
+			nodeStart := len(ins.nodeArena)
 
-			a0p := f.NewVar(f.VarName(a0) + "'")
-			node = append(node, a0p)
+			a0p := f.NewDerivedVar(a0)
+			ins.nodeArena = append(ins.nodeArena, a0p)
 			begin := ins.BeginCopies[b.ID]
 			begin.Defs = append(begin.Defs, a0)
 			begin.Uses = append(begin.Uses, a0p)
@@ -83,8 +137,8 @@ func InsertCopies(f *ir.Func) (*Insertion, error) {
 
 			for i, ai := range phi.Uses {
 				pred := b.Preds[i]
-				aip := f.NewVar(f.VarName(ai) + "'")
-				node = append(node, aip)
+				aip := f.NewDerivedVar(ai)
+				ins.nodeArena = append(ins.nodeArena, aip)
 				end := ins.EndCopies[pred.ID]
 				end.Defs = append(end.Defs, aip)
 				end.Uses = append(end.Uses, ai)
@@ -94,31 +148,55 @@ func InsertCopies(f *ir.Func) (*Insertion, error) {
 				})
 				phi.Uses[i] = aip
 			}
-			ins.PhiNodes = append(ins.PhiNodes, node)
+			// Exact-capacity view: even if a later node's append reallocates
+			// the arena, this slice keeps the already-written backing.
+			ins.PhiNodes = append(ins.PhiNodes,
+				ins.nodeArena[nodeStart:len(ins.nodeArena):len(ins.nodeArena)])
 			phiID++
 		}
 	}
-	return ins, nil
+	return nil
 }
 
 // PrepareParallelCopies creates the (initially empty) begin parallel copy
 // of every φ-block and the end parallel copy of every predecessor of a
 // φ-block, recording them in ins. Creating all carriers up front keeps slot
 // numbering stable while copies are materialized one by one — the
-// virtualized translator depends on this.
+// virtualized translator depends on this. The carriers come from f's
+// instruction arena, with operand lists pre-sized to the maximum number of
+// pairs Method I can put into them, so materializing copies never grows a
+// carrier's backing.
 func PrepareParallelCopies(f *ir.Func, ins *Insertion) {
+	// Upper-bound the pair counts: every φ contributes one pair to its
+	// block's begin copy and one to each predecessor's end copy.
+	ins.need = resetI32(ins.need, len(f.Blocks))
+	need := ins.need
+	for _, b := range f.Blocks {
+		if len(b.Phis) == 0 {
+			continue
+		}
+		for _, p := range b.Preds {
+			need[p.ID] += int32(len(b.Phis))
+		}
+	}
+	carrier := func(pairs int) *ir.Instr {
+		pc := f.NewInstr(ir.OpParCopy)
+		pc.Defs = f.NewOperands(pairs)[:0]
+		pc.Uses = f.NewOperands(pairs)[:0]
+		return pc
+	}
 	for _, b := range f.Blocks {
 		if len(b.Phis) == 0 {
 			continue
 		}
 		if ins.BeginCopies[b.ID] == nil {
-			pc := &ir.Instr{Op: ir.OpParCopy}
+			pc := carrier(len(b.Phis))
 			ir.InsertBefore(b, 0, pc)
 			ins.BeginCopies[b.ID] = pc
 		}
 		for _, p := range b.Preds {
 			if ins.EndCopies[p.ID] == nil {
-				pc := &ir.Instr{Op: ir.OpParCopy}
+				pc := carrier(int(need[p.ID]))
 				ir.InsertBefore(p, ir.CopyInsertIndex(p), pc)
 				ins.EndCopies[p.ID] = pc
 			}
@@ -163,32 +241,32 @@ func indexOf(b *ir.Block, in *ir.Instr) int {
 // f (register renaming constraints and optimization leftovers), to be
 // coalesced alongside the φ-related ones (paper, Section III-B).
 func CollectExistingCopies(f *ir.Func) []Affinity {
-	return collectCopies(f, nil)
+	return collectCopies(f, nil, nil)
 }
 
 // CollectRealCopies is CollectExistingCopies restricted to the copies that
 // pre-existed copy insertion: the parallel copies ins itself created are
 // skipped.
 func CollectRealCopies(f *ir.Func, ins *Insertion) []Affinity {
-	skip := map[*ir.Instr]bool{}
-	for _, pc := range ins.BeginCopies {
-		if pc != nil {
-			skip[pc] = true
-		}
-	}
-	for _, pc := range ins.EndCopies {
-		if pc != nil {
-			skip[pc] = true
-		}
-	}
-	return collectCopies(f, skip)
+	return CollectRealCopiesInto(f, ins, nil)
 }
 
-func collectCopies(f *ir.Func, skip map[*ir.Instr]bool) []Affinity {
-	var out []Affinity
+// CollectRealCopiesInto is CollectRealCopies appending into dst (which may
+// be a recycled buffer). The insertion's own carriers are recognized by
+// pointer identity against the per-block BeginCopies/EndCopies records, so
+// no skip set is built.
+func CollectRealCopiesInto(f *ir.Func, ins *Insertion, dst []Affinity) []Affinity {
+	return collectCopies(f, ins, dst)
+}
+
+func collectCopies(f *ir.Func, ins *Insertion, out []Affinity) []Affinity {
 	for _, b := range f.Blocks {
+		var begin, end *ir.Instr
+		if ins != nil {
+			begin, end = ins.BeginCopies[b.ID], ins.EndCopies[b.ID]
+		}
 		for i, in := range b.Instrs {
-			if skip[in] {
+			if in == begin || in == end {
 				continue
 			}
 			switch in.Op {
@@ -220,14 +298,17 @@ func SplitDuplicatePredEdges(f *ir.Func) []*ir.Block {
 		if len(b.Phis) == 0 {
 			continue
 		}
-		seen := map[*ir.Block]bool{}
+		// Quadratic scan instead of a per-block set: predecessor lists are
+		// short, and a split replaces b.Preds[i] with the fresh block, so
+		// later pairs still compare against the updated list.
 		for i := 0; i < len(b.Preds); i++ {
 			p := b.Preds[i]
-			if seen[p] {
-				added = append(added, ir.SplitEdge(f, p, b))
-				continue
+			for j := 0; j < i; j++ {
+				if b.Preds[j] == p {
+					added = append(added, ir.SplitEdge(f, p, b))
+					break
+				}
 			}
-			seen[p] = true
 		}
 	}
 	return added

@@ -141,7 +141,7 @@ type renamer struct {
 }
 
 func (r *renamer) fresh(orig ir.VarID) ir.VarID {
-	n := fmt.Sprintf("%s.%d", r.f.Vars[orig].Name, r.counts[orig])
+	n := fmt.Sprintf("%s.%d", r.f.VarName(orig), r.counts[orig])
 	r.counts[orig]++
 	nv := r.f.NewVar(n)
 	r.f.Vars[nv].Reg = r.f.Vars[orig].Reg
@@ -152,7 +152,7 @@ func (r *renamer) fresh(orig ir.VarID) ir.VarID {
 func (r *renamer) top(orig ir.VarID) ir.VarID {
 	st := r.stacks[orig]
 	if len(st) == 0 {
-		panic("ssa: use of " + r.f.Vars[orig].Name + " without dominating definition")
+		panic("ssa: use of " + r.f.VarName(orig) + " without dominating definition")
 	}
 	return st[len(st)-1]
 }
