@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check
+.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale
 
 # Scale of the liveness trajectory corpus; CI uses the short default, local
 # runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
@@ -11,6 +11,12 @@ COALESCE_SCALE ?= 0.05
 # The committed BENCH_translate.json baseline is recorded at this scale, so
 # the bench-translate-check gate compares like with like.
 TRANSLATE_SCALE ?= 0.05
+# Scale of the multicore batch corpus (same convention); the worker sweep
+# itself is fixed at 1..32 workers x GOGC {off,100,400}.
+SCALE_SCALE ?= 0.05
+# Parallel-efficiency floor of the bench-scale gate (at 8 workers,
+# normalized by available cores; 0 disables).
+SCALE_MINEFF ?= 0.6
 
 build:
 	$(GO) build ./...
@@ -57,5 +63,11 @@ bench-translate:
 # baseline is never silently replaced by a within-slack regression.
 bench-translate-check:
 	$(GO) run ./cmd/ssabench -fig translate -scale $(TRANSLATE_SCALE) -against BENCH_translate.json -out BENCH_translate.ci.json
+
+# Sweep the work-stealing batch driver over workers x GOGC on the batch
+# corpus, record the speedup-vs-cores trajectory, and gate on parallel
+# efficiency at 8 workers (speedup / available cores >= SCALE_MINEFF).
+bench-scale:
+	$(GO) run ./cmd/ssabench -fig scale -scale $(SCALE_SCALE) -mineff $(SCALE_MINEFF) -out BENCH_scale.json
 
 ci: vet build test race examples

@@ -136,7 +136,7 @@ func BenchmarkRunBatch(b *testing.B) {
 	opt := core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}
 	pl := pipeline.Translate(opt)
 	seen := map[int]bool{}
-	for _, w := range []int{1, 2, 4, runtime.NumCPU()} {
+	for _, w := range []int{1, 2, 4, runtime.GOMAXPROCS(0)} {
 		if seen[w] {
 			continue
 		}
@@ -157,6 +157,35 @@ func BenchmarkRunBatch(b *testing.B) {
 				remaining = res.Stats.RemainingCopies
 			}
 			b.ReportMetric(float64(remaining), "copies-remaining")
+		})
+	}
+}
+
+// BenchmarkRunBatchReference runs the retained single-channel dispatcher
+// on the same workload, so `go test -bench RunBatch` puts the
+// work-stealing driver and its predecessor side by side.
+func BenchmarkRunBatchReference(b *testing.B) {
+	fns := workload()
+	opt := core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}
+	pl := pipeline.Translate(opt)
+	seen := map[int]bool{}
+	for _, w := range []int{1, runtime.GOMAXPROCS(0)} {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				clones := make([]*ir.Func, len(fns))
+				for j, f := range fns {
+					clones[j] = ir.Clone(f)
+				}
+				b.StartTimer()
+				if err := pipeline.RunBatchReference(context.Background(), clones, pl, w).Err(); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

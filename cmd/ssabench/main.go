@@ -14,6 +14,7 @@
 //	ssabench -fig coalesce -out BENCH_coalesce.json
 //	ssabench -fig translate -out BENCH_translate.json
 //	ssabench -fig translate -against BENCH_translate.json -out BENCH_translate.json
+//	ssabench -fig scale -out BENCH_scale.json
 //
 // -fig liveness benchmarks the worklist liveness engine against the
 // pre-worklist round-robin fixpoint on a synthetic large-CFG corpus (deep
@@ -22,16 +23,26 @@
 // def-point keys, pooled congruence scratch) against the kept reference
 // path on a φ/copy-dense corpus; -fig translate benchmarks the end-to-end
 // clone+translate steady state — the pooled-scratch/slab allocation path
-// against the kept pre-pooling reference — across all Figure 5 strategies.
-// All three write the machine-readable trajectory file CI archives per run.
-// With -against, the translate trajectory additionally gates on the named
+// against the kept pre-pooling reference — across all Figure 5 strategies;
+// -fig scale sweeps the work-stealing batch driver over worker counts ×
+// GOGC settings on a batch corpus and records the speedup-vs-cores curve
+// with per-point parallel efficiency (speedup ÷ available cores). All four
+// write the machine-readable trajectory file CI archives per run. With
+// -against, the translate trajectory additionally gates on the named
 // committed baseline: any pooled row allocating more than 20% over the
-// baseline's allocs/op fails the run (exit 1).
+// baseline's allocs/op fails the run (exit 1). The scale trajectory gates
+// on -mineff: parallel efficiency at 8 workers below the floor fails the
+// run (0 disables the gate).
 //
 // -scale shrinks or grows the workload (the trajectory corpora included);
 // -weighted adds the frequency-weighted companion of Figure 5; -workers
-// sets the batch driver's worker pool for the untimed figures (0 = NumCPU;
-// results are identical for any worker count, only wall-clock changes).
+// sets the batch driver's worker pool for the untimed figures (0 =
+// GOMAXPROCS; results are identical for any worker count, only wall-clock
+// changes). -cpuprofile and -memprofile write pprof profiles of the run,
+// so a flat spot found by the scale sweep can be attributed directly:
+//
+//	ssabench -fig scale -cpuprofile scale.cpu.pprof
+//	go tool pprof scale.cpu.pprof
 package main
 
 import (
@@ -39,6 +50,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/outofssa"
@@ -46,13 +59,16 @@ import (
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all (paper figures); liveness and coalesce run the perf trajectories instead")
+	fig := flag.String("fig", "all", "figure to regenerate: 5, 6, 7, or all (paper figures); liveness, coalesce, translate and scale run the perf trajectories instead")
 	scale := flag.Float64("scale", 1, "workload scale factor")
 	reps := flag.Int("reps", 3, "timing repetitions for figure 6")
 	weighted := flag.Bool("weighted", false, "also print the frequency-weighted figure 5 table")
-	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = NumCPU)")
-	out := flag.String("out", "", "with -fig liveness/coalesce/translate: also write the trajectory as JSON to this file")
+	workers := flag.Int("workers", 0, "pipeline batch workers for figures 5 and 7 (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "with -fig liveness/coalesce/translate/scale: also write the trajectory as JSON to this file")
 	against := flag.String("against", "", "with -fig translate: gate pooled allocs/op against this committed baseline (fail on >20% regression)")
+	minEff := flag.Float64("mineff", 0.6, "with -fig scale: minimum parallel efficiency at 8 workers (0 disables the gate)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	strategy := flag.String("strategy", "all",
 		"restrict figure 5 to one coalescing strategy: all, or one of "+strings.Join(outofssa.StrategyNames(), "|"))
 	flag.Parse()
@@ -68,41 +84,82 @@ func main() {
 	}
 
 	bench.Workers = *workers
-	switch *fig { // the trajectories have their own corpora; no SPEC suite
-	case "liveness":
-		figLiveness(*scale, *out)
-		return
-	case "coalesce":
-		figCoalesce(*scale, *out)
-		return
-	case "translate":
-		figTranslate(*scale, *out, *against)
-		return
+	os.Exit(run(*fig, *scale, *reps, *weighted, *out, *against, *minEff, *cpuprofile, *memprofile, strategies))
+}
+
+// run dispatches the figure and returns the process exit code. It exists
+// (instead of os.Exit calls inside the figure functions) so the deferred
+// profile writers always flush — an os.Exit on a gate failure would
+// otherwise truncate the very profile needed to debug the regression.
+func run(fig string, scale float64, reps int, weighted bool, out, against string, minEff float64, cpuprofile, memprofile string, strategies []outofssa.Strategy) int {
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+			return 1
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", cpuprofile)
+		}()
 	}
-	suite := bench.Suite(*scale)
+	if memprofile != "" {
+		defer func() {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", memprofile)
+		}()
+	}
+
+	switch fig { // the trajectories have their own corpora; no SPEC suite
+	case "liveness":
+		return figLiveness(scale, out)
+	case "coalesce":
+		return figCoalesce(scale, out)
+	case "translate":
+		return figTranslate(scale, out, against)
+	case "scale":
+		return figScale(scale, out, minEff)
+	}
+	suite := bench.Suite(scale)
 	total := 0
 	for _, b := range suite {
 		total += len(b.Funcs)
 	}
-	fmt.Printf("suite: %d benchmarks, %d functions (scale %g)\n\n", len(suite), total, *scale)
+	fmt.Printf("suite: %d benchmarks, %d functions (scale %g)\n\n", len(suite), total, scale)
 
-	switch *fig {
+	switch fig {
 	case "5":
-		fig5(suite, strategies, *weighted)
+		fig5(suite, strategies, weighted)
 	case "6":
-		fig6(suite, *reps)
+		fig6(suite, reps)
 	case "7":
 		fig7(suite)
 	case "all":
-		fig5(suite, strategies, *weighted)
+		fig5(suite, strategies, weighted)
 		fmt.Println()
-		fig6(suite, *reps)
+		fig6(suite, reps)
 		fmt.Println()
 		fig7(suite)
 	default:
-		fmt.Fprintf(os.Stderr, "ssabench: unknown figure %q\n", *fig)
-		os.Exit(2)
+		fmt.Fprintf(os.Stderr, "ssabench: unknown figure %q\n", fig)
+		return 2
 	}
+	return 0
 }
 
 func fig5(suite []bench.Benchmark, strategies []outofssa.Strategy, weighted bool) {
@@ -122,56 +179,77 @@ func fig7(suite []bench.Benchmark) {
 	fmt.Print(bench.FormatFig7(bench.Fig7(suite)))
 }
 
-func figLiveness(scale float64, out string) {
+func figLiveness(scale float64, out string) int {
 	rep := bench.LivenessTrajectory(scale)
 	fmt.Print(bench.FormatLiveness(rep))
-	writeTrajectory(out, rep.WriteJSON)
+	return writeTrajectory(out, rep.WriteJSON)
 }
 
-func figCoalesce(scale float64, out string) {
+func figCoalesce(scale float64, out string) int {
 	rep := bench.CoalesceTrajectory(scale)
 	fmt.Print(bench.FormatCoalesce(rep))
-	writeTrajectory(out, rep.WriteJSON)
+	return writeTrajectory(out, rep.WriteJSON)
 }
 
-func figTranslate(scale float64, out, against string) {
+func figTranslate(scale float64, out, against string) int {
 	// Load the baseline before measuring (and before -out overwrites it).
 	var baseline *bench.TranslateReport
 	if against != "" {
 		f, err := os.Open(against)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		baseline, err = bench.ReadTranslateReport(f)
 		f.Close()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	rep := bench.TranslateTrajectory(scale)
 	fmt.Print(bench.FormatTranslate(rep))
-	writeTrajectory(out, rep.WriteJSON)
+	if code := writeTrajectory(out, rep.WriteJSON); code != 0 {
+		return code
+	}
 	if baseline != nil {
 		if violations := bench.CheckTranslateAllocs(rep, baseline, 0.20); len(violations) > 0 {
 			for _, v := range violations {
 				fmt.Fprintf(os.Stderr, "ssabench: allocation regression: %s\n", v)
 			}
-			os.Exit(1)
+			return 1
 		}
 		fmt.Println("allocation gate: pooled allocs/op within 20% of the committed baseline")
 	}
+	return 0
 }
 
-func writeTrajectory(out string, write func(io.Writer) error) {
+func figScale(scale float64, out string, minEff float64) int {
+	rep := bench.ScaleTrajectory(scale)
+	fmt.Print(bench.FormatScale(rep))
+	if code := writeTrajectory(out, rep.WriteJSON); code != 0 {
+		return code
+	}
+	if minEff > 0 {
+		if violations := bench.CheckScaleEfficiency(rep, 8, minEff); len(violations) > 0 {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "ssabench: scalability regression: %s\n", v)
+			}
+			return 1
+		}
+		fmt.Printf("efficiency gate: parallel efficiency at 8 workers at least %.2f on every GOGC row\n", minEff)
+	}
+	return 0
+}
+
+func writeTrajectory(out string, write func(io.Writer) error) int {
 	if out == "" {
-		return
+		return 0
 	}
 	f, err := os.Create(out)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	werr := write(f)
 	if cerr := f.Close(); werr == nil {
@@ -179,7 +257,8 @@ func writeTrajectory(out string, write func(io.Writer) error) {
 	}
 	if werr != nil {
 		fmt.Fprintf(os.Stderr, "ssabench: %v\n", werr)
-		os.Exit(1)
+		return 1
 	}
 	fmt.Printf("\nwrote %s\n", out)
+	return 0
 }

@@ -71,6 +71,7 @@ type Cache struct {
 
 	at      [NumKinds]gens
 	liveBE  liveness.Backend
+	liveSc  *liveness.Scratch
 	graphMD interference.GraphMode
 
 	// Hits and Misses count, per analysis, requests served from the cache
@@ -121,19 +122,34 @@ func (c *Cache) DefUse() *ir.DefUse {
 	return c.du
 }
 
+// SetLivenessScratch installs a caller-owned worklist scratch that every
+// subsequent Liveness (re)computation runs in, replacing the per-compute
+// draw from the liveness package pool; nil reverts to the pool. The batch
+// driver threads each worker's private scratch through the contexts it
+// creates (and detaches it once the function is done), so per-function
+// liveness recomputations stop contending on the global pool. The scratch
+// is working state only — no returned Info references it — but it must
+// not be shared with a concurrent computation.
+func (c *Cache) SetLivenessScratch(sc *liveness.Scratch) { c.liveSc = sc }
+
 // Liveness returns dataflow liveness with the requested backend. Asking for
 // a different backend than the cached one recomputes. Every recomputation
-// draws its worklist scratch from the liveness package pool, so both the
-// repeated invalidations within one function's translation and a batch
-// worker translating thousands of functions reuse the same working-state
-// buffers instead of re-allocating them per run.
+// runs in the installed scratch (SetLivenessScratch) or, absent one, draws
+// from the liveness package pool, so both the repeated invalidations within
+// one function's translation and a batch worker translating thousands of
+// functions reuse the same working-state buffers instead of re-allocating
+// them per run.
 func (c *Cache) Liveness(be liveness.Backend) *liveness.Info {
 	if c.live != nil && c.liveBE == be && c.valid(Liveness) {
 		c.Hits[Liveness]++
 		return c.live
 	}
 	c.Misses[Liveness]++
-	c.live = liveness.ComputeWith(c.f, be)
+	if c.liveSc != nil {
+		c.live = liveness.ComputeInto(c.f, be, c.liveSc)
+	} else {
+		c.live = liveness.ComputeWith(c.f, be)
+	}
 	c.liveBE = be
 	c.at[Liveness] = c.now()
 	return c.live

@@ -94,6 +94,25 @@ func LargeTranslateProfile(name string, seed int64, scale float64) LargeProfile 
 	}
 }
 
+// LargeScaleProfile returns the profile of the BENCH_scale multicore
+// trajectory: a batch of medium functions — the per-function work grain of
+// a realistic compile batch — rather than a handful of huge ones, so a
+// worker sweep has enough independent units to schedule. scale multiplies
+// the per-function block budget; the function count stays fixed so the
+// dispatch shape (shards, steal opportunities) is comparable across
+// scales. 1 ≈ 30 functions of ~240 blocks each.
+func LargeScaleProfile(name string, seed int64, scale float64) LargeProfile {
+	blocks := int(240 * scale)
+	if blocks < 32 {
+		blocks = 32
+	}
+	return LargeProfile{
+		Name: name, Seed: seed, Funcs: 30,
+		Blocks: blocks, LoopDepth: 5, SwitchWidth: 10, SharedVars: 16,
+		FoldCopies: 0.6, SwapShuffle: 0.2,
+	}
+}
+
 // GenerateLarge builds the profile's functions in SSA form, deterministically
 // from the seed.
 func GenerateLarge(p LargeProfile) []*ir.Func {

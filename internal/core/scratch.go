@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/congruence"
+	"repro/internal/liveness"
 	"repro/internal/parcopy"
 	"repro/internal/sreedhar"
 )
@@ -32,6 +33,7 @@ type Scratch struct {
 	par   parcopy.Scratch
 	co    coalesce.Scratch
 	lists congruence.ListPool
+	live  liveness.Scratch
 
 	// stamp/epoch implement the rewrite phase's per-parallel-copy duplicate
 	// destination check without a per-instruction map.
@@ -42,6 +44,15 @@ type Scratch struct {
 // NewScratch returns an empty scratch for explicit reuse across
 // translations.
 func NewScratch() *Scratch { return &Scratch{} }
+
+// LivenessScratch returns the scratch's liveness worklist working state.
+// The batch driver installs it into each function's analysis cache
+// (analysis.Cache.SetLivenessScratch) so a worker's liveness
+// recomputations reuse worker-private buffers instead of round-tripping
+// the liveness package's sync.Pool per computation. Same discipline as
+// the rest of the scratch: any number of sequential runs, never two at
+// once.
+func (sc *Scratch) LivenessScratch() *liveness.Scratch { return &sc.live }
 
 var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
 

@@ -45,64 +45,205 @@ func (r *BatchResult) Err() error {
 	return errors.Join(errs...)
 }
 
+// clampWorkers resolves the requested worker count: workers <= 0 selects
+// runtime.GOMAXPROCS(0) — not NumCPU, so a capped scheduler (container
+// quota, `go test -cpu`) is respected instead of oversubscribed — and the
+// count is clamped to the batch size.
+func clampWorkers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
 // RunBatch pushes every function through its own run of the pipeline on a
-// pool of workers, mutating the functions in place. workers <= 0 selects
-// runtime.NumCPU(). Every function gets a private context and analysis
-// cache — that isolation is what makes the result deterministic: the
-// translated IR and the aggregate statistics are bit-identical to a
-// sequential run, because statistics are collected per index and folded
+// pool of work-stealing workers, mutating the functions in place.
+// workers <= 0 selects runtime.GOMAXPROCS(0). Every function gets a
+// private context and analysis cache — that isolation is what makes the
+// result deterministic: the translated IR and the aggregate statistics
+// are bit-identical to a sequential run for any worker count and any
+// steal schedule, because statistics are collected per index and folded
 // in input order after the pool drains, keeping float accumulation
 // independent of scheduling.
 //
-// Cancelling ctx stops the dispatcher: a function already handed to a
-// worker stops at its next pass boundary with the context's error, and
-// functions never dispatched are marked with the context's error and a
-// nil Context.
+// Cancelling ctx stops the pool: a function already claimed by a worker
+// stops at its next pass boundary with the context's error, and functions
+// never claimed are marked with the context's error and a nil Context.
 func RunBatch(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
 	return RunBatchFunc(ctx, funcs, p, workers, nil)
 }
 
 // RunBatchFunc is RunBatch with a streaming observer: report, when
-// non-nil, is invoked once per dispatched function as it completes, in
+// non-nil, is invoked once per claimed function as it completes, in
 // completion order, with the input index, the per-function context, and
 // its error. Calls are serialized (report needs no locking of its own)
 // but their order depends on scheduling; functions skipped by
-// cancellation are not reported.
+// cancellation are not reported. The calls run on a dedicated drainer
+// goroutine fed by a full-batch buffered channel, so a slow observer
+// back-pressures nothing — workers never serialize on reporting.
 func RunBatchFunc(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers int, report func(int, *Context, error)) *BatchResult {
-	if workers <= 0 {
-		workers = runtime.NumCPU()
-	}
-	if workers > len(funcs) {
-		workers = len(funcs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
+	workers = clampWorkers(workers, len(funcs))
 	res := &BatchResult{
 		Contexts: make([]*Context, len(funcs)),
 		Errs:     make([]error, len(funcs)),
 		Workers:  workers,
 	}
-	var reportMu sync.Mutex
-	done := func(i int) {
+	if workers == 1 {
+		runBatchSeq(ctx, funcs, p, res, report)
+	} else {
+		runBatchStealing(ctx, funcs, p, res, workers, report)
+	}
+	markSkipped(ctx, res)
+	foldStats(res)
+	return res
+}
+
+// runOne pushes funcs[i] through the pipeline on worker-owned working
+// state: sc is the worker's private core.Scratch for the whole batch, and
+// its liveness scratch additionally serves every liveness (re)computation
+// the function's analysis cache performs — no global sync.Pool traffic,
+// and with it no cross-core contention, on the per-function path. Both
+// attachments are detached before the context escapes to the caller, so
+// post-batch use of a Context can never race a scratch now owned by
+// someone else.
+func runOne(ctx context.Context, p *Pipeline, funcs []*ir.Func, res *BatchResult, i int, sc *core.Scratch) {
+	pctx := NewContext(funcs[i])
+	pctx.Cache.SetLivenessScratch(sc.LivenessScratch())
+	pctx.Scratch = sc
+	res.Contexts[i] = pctx
+	res.Errs[i] = runSafe(ctx, p, pctx)
+	pctx.Scratch = nil
+	pctx.Cache.SetLivenessScratch(nil)
+}
+
+// runBatchSeq is the single-worker fast path: input order, no goroutines,
+// report invoked inline (one worker cannot contend with itself).
+func runBatchSeq(ctx context.Context, funcs []*ir.Func, p *Pipeline, res *BatchResult, report func(int, *Context, error)) {
+	sc := core.NewScratch()
+	for i := range funcs {
+		if ctx.Err() != nil {
+			break
+		}
+		runOne(ctx, p, funcs, res, i, sc)
 		if report != nil {
-			reportMu.Lock()
 			report(i, res.Contexts[i], res.Errs[i])
-			reportMu.Unlock()
 		}
 	}
+}
 
+// runBatchStealing is the multicore driver. The input index space is cut
+// into contiguous shards, one per worker — dispatch is O(1) amortized per
+// function (slice bookkeeping, no synchronized handoff). A worker drains
+// its own deque from the head; when empty it steals the tail half of the
+// remaining work from the busiest victim, so a straggler shard (one huge
+// CFG near the end of the input) is flattened across the pool instead of
+// idling everyone behind one worker.
+func runBatchStealing(ctx context.Context, funcs []*ir.Func, p *Pipeline, res *BatchResult, workers int, report func(int, *Context, error)) {
+	n := len(funcs)
+	idx := make([]int32, n)
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	qs := make([]stealQueue, workers)
+	for w := 0; w < workers; w++ {
+		lo := w * n / workers
+		hi := (w + 1) * n / workers
+		// Capacity-clamped: a steal-append on this queue reallocates
+		// privately instead of growing into the next worker's shard.
+		qs[w].seed(idx[lo:hi:hi])
+	}
+
+	// The streaming observer runs on its own drainer goroutine; the
+	// channel holds the whole batch, so a worker's send never blocks.
+	var reports chan int32
+	var drain sync.WaitGroup
+	if report != nil {
+		reports = make(chan int32, n)
+		drain.Add(1)
+		go func() {
+			defer drain.Done()
+			for i := range reports {
+				report(int(i), res.Contexts[i], res.Errs[i])
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self int) {
+			defer wg.Done()
+			// Fully private working state for the life of the batch: no
+			// scratch pool round-trips, no buffer ever shared with another
+			// core. The congruence list pool and the liveness worklist
+			// scratch ride inside (core.Scratch owns both), so the whole
+			// steady-state translation path is contention-free.
+			sc := core.NewScratch()
+			var buf []int32
+			q := &qs[self]
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i, ok := q.pop()
+				if !ok {
+					v := busiest(qs, self)
+					if v < 0 {
+						return
+					}
+					buf = qs[v].stealTail(buf[:0])
+					if len(buf) == 0 {
+						continue // victim drained under us; rescan
+					}
+					i = int(buf[0])
+					if len(buf) > 1 {
+						q.pushBack(buf[1:])
+					}
+				}
+				runOne(ctx, p, funcs, res, i, sc)
+				if reports != nil {
+					reports <- int32(i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if reports != nil {
+		close(reports)
+		drain.Wait()
+	}
+}
+
+// RunBatchReference is the pre-work-stealing batch driver, kept as the
+// differential oracle: a single unbuffered channel hands indices to the
+// pool one synchronized rendezvous at a time, and every worker draws its
+// scratch from the shared core pool. It honors the same contract as
+// RunBatch — per-index contexts, input-order stats fold, cancellation
+// marking — so the property tests can assert the work-stealing driver is
+// bit-identical to it. New code should call RunBatch.
+func RunBatchReference(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers int) *BatchResult {
+	workers = clampWorkers(workers, len(funcs))
+	res := &BatchResult{
+		Contexts: make([]*Context, len(funcs)),
+		Errs:     make([]error, len(funcs)),
+		Workers:  workers,
+	}
 	if workers == 1 {
 		sc := core.GetScratch()
-		for i, f := range funcs {
+		for i := range funcs {
 			if ctx.Err() != nil {
 				break
 			}
-			res.Contexts[i] = NewContext(f)
+			res.Contexts[i] = NewContext(funcs[i])
 			res.Contexts[i].Scratch = sc
 			res.Errs[i] = runSafe(ctx, p, res.Contexts[i])
 			res.Contexts[i].Scratch = nil
-			done(i)
 		}
 		core.PutScratch(sc)
 	} else {
@@ -112,9 +253,6 @@ func RunBatchFunc(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers in
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				// One pooled scratch per worker: every function this worker
-				// translates reuses the same buffers, the point of the
-				// zero-steady-state-allocation design.
 				sc := core.GetScratch()
 				defer core.PutScratch(sc)
 				for i := range next {
@@ -122,40 +260,51 @@ func RunBatchFunc(ctx context.Context, funcs []*ir.Func, p *Pipeline, workers in
 					res.Contexts[i].Scratch = sc
 					res.Errs[i] = runSafe(ctx, p, res.Contexts[i])
 					res.Contexts[i].Scratch = nil
-					done(i)
 				}
 			}()
 		}
+		// Cancellation fast path: the moment ctx.Done fires inside the
+		// rendezvous, the labeled break abandons the dispatch loop — the
+		// remaining indices are never iterated; markSkipped carries them.
+	dispatch:
 		for i := range funcs {
-			if ctx.Err() != nil {
-				break
-			}
 			select {
 			case next <- i:
 			case <-ctx.Done():
+				break dispatch
 			}
 		}
 		close(next)
 		wg.Wait()
 	}
+	markSkipped(ctx, res)
+	foldStats(res)
+	return res
+}
 
-	// Functions the dispatcher never handed out carry the cancellation
-	// cause at their index (a dispatched function always has a context,
-	// even when its pipeline failed).
-	if err := ctx.Err(); err != nil {
-		for i := range funcs {
-			if res.Contexts[i] == nil && res.Errs[i] == nil {
-				res.Errs[i] = err
-			}
+// markSkipped marks the functions the driver never claimed with the
+// cancellation cause (a claimed function always has a context, even when
+// its pipeline failed).
+func markSkipped(ctx context.Context, res *BatchResult) {
+	err := ctx.Err()
+	if err == nil {
+		return
+	}
+	for i := range res.Errs {
+		if res.Contexts[i] == nil && res.Errs[i] == nil {
+			res.Errs[i] = err
 		}
 	}
+}
 
-	for i := range funcs {
+// foldStats accumulates the per-function statistics in input order —
+// the step that keeps the aggregate independent of scheduling.
+func foldStats(res *BatchResult) {
+	for i := range res.Contexts {
 		if res.Errs[i] == nil && res.Contexts[i] != nil && res.Contexts[i].Stats != nil {
 			res.Stats.Accumulate(res.Contexts[i].Stats)
 		}
 	}
-	return res
 }
 
 // runSafe runs the pipeline on pctx; pass failures and pass panics arrive

@@ -1,0 +1,97 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// stealQueue is one worker's deque of input indices. The owner pops from
+// the head (preserving rough input order, which keeps a worker walking its
+// contiguous shard); thieves remove half of the remaining items from the
+// tail, so owner and thief touch opposite ends and a steal moves the work
+// farthest from what the owner is about to do anyway.
+//
+// All mutation happens under mu — steals are rare (one per idle episode,
+// O(workers·log n) per batch in practice) and the owner's pop is a single
+// uncontended lock acquisition in the common case, far cheaper than the
+// per-function channel rendezvous it replaces. rem mirrors the queued
+// count so victim selection can scan queues without taking their locks.
+type stealQueue struct {
+	mu    sync.Mutex
+	items []int32
+	head  int
+	rem   atomic.Int32
+
+	// Queues live in one slice; the padding keeps one queue's hot fields
+	// (mu, rem) off its neighbours' cache lines.
+	_ [64]byte
+}
+
+// seed installs the queue's initial contiguous shard. items must be
+// capacity-clamped (three-index sliced) by the caller so a later pushBack
+// append can never grow into a neighbouring shard's backing memory.
+func (q *stealQueue) seed(items []int32) {
+	q.items = items
+	q.head = 0
+	q.rem.Store(int32(len(items)))
+}
+
+// pop removes and returns the head item.
+func (q *stealQueue) pop() (int, bool) {
+	q.mu.Lock()
+	if q.head == len(q.items) {
+		q.mu.Unlock()
+		return 0, false
+	}
+	i := q.items[q.head]
+	q.head++
+	q.rem.Add(-1)
+	q.mu.Unlock()
+	return int(i), true
+}
+
+// pushBack appends stolen items to the tail.
+func (q *stealQueue) pushBack(items []int32) {
+	q.mu.Lock()
+	q.items = append(q.items, items...)
+	q.rem.Add(int32(len(items)))
+	q.mu.Unlock()
+}
+
+// stealTail moves the ceiling half of q's remaining items into buf[:0] and
+// returns it (empty when q drained between the victim scan and the lock).
+// The items are copied out under the lock: the returned slice aliases only
+// buf, never q's backing array, so the thief may requeue them at leisure
+// while the victim's owner keeps popping — or even appends stolen work of
+// its own into the region the tail used to occupy.
+func (q *stealQueue) stealTail(buf []int32) []int32 {
+	q.mu.Lock()
+	n := len(q.items) - q.head
+	if n <= 0 {
+		q.mu.Unlock()
+		return buf
+	}
+	take := (n + 1) / 2
+	buf = append(buf, q.items[len(q.items)-take:]...)
+	q.items = q.items[:len(q.items)-take]
+	q.rem.Add(int32(-take))
+	q.mu.Unlock()
+	return buf
+}
+
+// busiest returns the index of the queue (other than self) with the most
+// remaining items, or -1 when every other queue is empty — at which point
+// no new work can appear (the batch's work set is fixed; items mid-steal
+// are owned by the thief that holds them), so an idle worker may exit.
+func busiest(qs []stealQueue, self int) int {
+	best, bestRem := -1, int32(0)
+	for i := range qs {
+		if i == self {
+			continue
+		}
+		if r := qs[i].rem.Load(); r > bestRem {
+			best, bestRem = i, r
+		}
+	}
+	return best
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestScaleCorpusDeterministic: the batch corpus is a pure function of
+// (seed, scale) — two generations are structurally identical, and the
+// straggler functions sit at the end of the input (the dispatch shape the
+// stealing driver is measured against).
+func TestScaleCorpusDeterministic(t *testing.T) {
+	a := ScaleCorpus(0.02)
+	b := ScaleCorpus(0.02)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("corpus sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Func().String() != b[i].Func().String() {
+			t.Fatalf("case %d differs between generations", i)
+		}
+	}
+	last := a[len(a)-1]
+	if !strings.HasPrefix(last.Name, "straggler") {
+		t.Fatalf("stragglers must close the input, got %q last", last.Name)
+	}
+	grain := a[0]
+	if last.Blocks <= grain.Blocks {
+		t.Fatalf("straggler (%d blocks) is not larger than the grain functions (%d blocks)",
+			last.Blocks, grain.Blocks)
+	}
+}
+
+// TestCheckScaleEfficiency exercises the gate on handcrafted reports: a
+// healthy curve passes, a collapsed one fails with a message naming the
+// offending row, and a sweep missing the gated point is itself a
+// violation.
+func TestCheckScaleEfficiency(t *testing.T) {
+	rep := &ScaleReport{
+		Cores: 8,
+		Results: []ScalePoint{
+			{Workers: 1, GOGC: "100", Speedup: 1.0, Efficiency: 1.0},
+			{Workers: 8, GOGC: "100", Speedup: 6.4, Efficiency: 0.8},
+			{Workers: 8, GOGC: "off", Speedup: 5.6, Efficiency: 0.7},
+		},
+	}
+	if v := CheckScaleEfficiency(rep, 8, 0.6); len(v) != 0 {
+		t.Fatalf("healthy report failed the gate: %v", v)
+	}
+
+	rep.Results[2].Efficiency = 0.31
+	v := CheckScaleEfficiency(rep, 8, 0.6)
+	if len(v) != 1 || !strings.Contains(v[0], "gogc=off") {
+		t.Fatalf("collapsed row not reported: %v", v)
+	}
+
+	if v := CheckScaleEfficiency(rep, 16, 0.6); len(v) != 1 || !strings.Contains(v[0], "no measurement") {
+		t.Fatalf("missing sweep point not reported: %v", v)
+	}
+}
+
+// TestScaleTrajectorySmoke runs a shrunken sweep end to end: every
+// (workers, GOGC) point is measured, speedups are computed against the
+// 1-worker row of the same GOGC setting, and the report round-trips
+// through its JSON encoding.
+func TestScaleTrajectorySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs testing.Benchmark sweeps")
+	}
+	oldW, oldGC := ScaleWorkers, ScaleGOGC
+	ScaleWorkers, ScaleGOGC = []int{1, 2}, []ScaleGC{{"100", 100}}
+	t.Cleanup(func() { ScaleWorkers, ScaleGOGC = oldW, oldGC })
+
+	rep := ScaleTrajectory(0.02)
+	if rep.Cores < 1 || rep.Funcs != len(rep.Corpus) || rep.Blocks <= 0 {
+		t.Fatalf("malformed report header: %+v", rep)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("want 2 sweep points, got %d", len(rep.Results))
+	}
+	for _, p := range rep.Results {
+		if p.NsPerOp <= 0 || p.Speedup <= 0 || p.Efficiency <= 0 {
+			t.Fatalf("unmeasured point: %+v", p)
+		}
+	}
+	if rep.Results[0].Workers != 1 || rep.Results[0].Speedup != 1.0 {
+		t.Fatalf("first point must be the 1-worker baseline: %+v", rep.Results[0])
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadScaleReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores != rep.Cores || len(back.Results) != len(rep.Results) ||
+		back.Results[1] != rep.Results[1] {
+		t.Fatalf("JSON round-trip lost data:\nwrote %+v\nread  %+v", rep.Results, back.Results)
+	}
+	if !strings.Contains(FormatScale(rep), "workers") {
+		t.Fatal("FormatScale lost its header")
+	}
+}

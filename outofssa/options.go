@@ -128,8 +128,8 @@ func WithVerify(on bool) Option {
 }
 
 // WithWorkers sets the worker-pool size TranslateAll and Stream use;
-// n <= 0 selects the number of CPUs. Results are identical for any worker
-// count — only wall-clock changes.
+// n <= 0 selects runtime.GOMAXPROCS(0). Results are identical for any
+// worker count — only wall-clock changes.
 func WithWorkers(n int) Option {
 	return func(t *Translator) error {
 		t.workers = n

@@ -53,7 +53,7 @@ type extraPass struct {
 
 // New builds a Translator. The zero configuration is DefaultOptions (the
 // paper's recommended machinery, Sharing strategy) with input
-// verification on, no register allocation, and NumCPU workers.
+// verification on, no register allocation, and GOMAXPROCS workers.
 func New(opts ...Option) (*Translator, error) {
 	t := &Translator{opt: DefaultOptions(), verify: true}
 	for _, o := range opts {
