@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale
+.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale bench-serve
 
 # Scale of the liveness trajectory corpus; CI uses the short default, local
 # runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
@@ -17,6 +17,12 @@ SCALE_SCALE ?= 0.05
 # Parallel-efficiency floor of the bench-scale gate (at 8 workers,
 # normalized by available cores; 0 disables).
 SCALE_MINEFF ?= 0.6
+# Offered-load sweep of the serving-latency trajectory (concurrent
+# closed-loop clients driving a self-hosted daemon over loopback HTTP),
+# the measurement window per point, and the corpus size.
+SERVE_LOADS ?= 1,2,4
+SERVE_DURATION ?= 2s
+SERVE_FUNCS ?= 64
 
 build:
 	$(GO) build ./...
@@ -69,5 +75,12 @@ bench-translate-check:
 # efficiency at 8 workers (speedup / available cores >= SCALE_MINEFF).
 bench-scale:
 	$(GO) run ./cmd/ssabench -fig scale -scale $(SCALE_SCALE) -mineff $(SCALE_MINEFF) -out BENCH_scale.json
+
+# Drive a self-hosted ssad over loopback HTTP at a sweep of offered-load
+# points and record the serving-latency trajectory (throughput + latency
+# quantiles per concurrency level); the built-in smoke gate fails the
+# target on hard failures or incoherent quantiles.
+bench-serve:
+	$(GO) run ./cmd/ssaload -loads $(SERVE_LOADS) -duration $(SERVE_DURATION) -funcs $(SERVE_FUNCS) -out BENCH_serve.json
 
 ci: vet build test race examples

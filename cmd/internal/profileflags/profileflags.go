@@ -1,0 +1,79 @@
+// Package profileflags is the one shared implementation of the
+// -cpuprofile/-memprofile flags every command in this repo offers. It
+// lives under cmd/internal so the commands can share it while the public
+// API boundary (commands import only repro/outofssa) stays intact — it is
+// tooling plumbing, not engine surface.
+//
+//	profileflags.Register()
+//	flag.Parse()
+//	stop, err := profileflags.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// Start is a no-op returning a no-op stop when neither flag was given.
+// Callers that os.Exit must route through a function whose deferred stop
+// runs first (see cmd/ssabench's main→run split), or call stop explicitly
+// before exiting — os.Exit skips defers and would truncate the profiles.
+package profileflags
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+var (
+	cpuprofile *string
+	memprofile *string
+)
+
+// Register installs -cpuprofile and -memprofile on the default flag set.
+// Call it before flag.Parse; calling it twice panics like any duplicate
+// flag definition.
+func Register() {
+	cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memprofile = flag.String("memprofile", "", "write an allocation profile of the run to this file")
+}
+
+// Start begins CPU profiling when -cpuprofile was given. The returned stop
+// flushes the CPU profile and writes the allocation profile (-memprofile),
+// and is safe to call when neither flag was set.
+func Start() (stop func(), err error) {
+	if cpuprofile == nil {
+		return func() {}, nil // Register was never called
+	}
+	var cpuFile *os.File
+	if *cpuprofile != "" {
+		cpuFile, err = os.Create(*cpuprofile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, err
+		}
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", *cpuprofile)
+		}
+		if *memprofile != "" {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before snapshotting
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				return
+			}
+			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", *memprofile)
+		}
+	}, nil
+}

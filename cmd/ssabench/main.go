@@ -50,10 +50,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
-	"runtime/pprof"
 	"strings"
 
+	"repro/cmd/internal/profileflags"
 	"repro/outofssa"
 	"repro/outofssa/bench"
 )
@@ -67,10 +66,9 @@ func main() {
 	out := flag.String("out", "", "with -fig liveness/coalesce/translate/scale: also write the trajectory as JSON to this file")
 	against := flag.String("against", "", "with -fig translate: gate pooled allocs/op against this committed baseline (fail on >20% regression)")
 	minEff := flag.Float64("mineff", 0.6, "with -fig scale: minimum parallel efficiency at 8 workers (0 disables the gate)")
-	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memprofile := flag.String("memprofile", "", "write an allocation profile of the run to this file")
 	strategy := flag.String("strategy", "all",
 		"restrict figure 5 to one coalescing strategy: all, or one of "+strings.Join(outofssa.StrategyNames(), "|"))
+	profileflags.Register()
 	flag.Parse()
 
 	strategies := outofssa.Strategies
@@ -84,46 +82,20 @@ func main() {
 	}
 
 	bench.Workers = *workers
-	os.Exit(run(*fig, *scale, *reps, *weighted, *out, *against, *minEff, *cpuprofile, *memprofile, strategies))
+	os.Exit(run(*fig, *scale, *reps, *weighted, *out, *against, *minEff, strategies))
 }
 
 // run dispatches the figure and returns the process exit code. It exists
 // (instead of os.Exit calls inside the figure functions) so the deferred
 // profile writers always flush — an os.Exit on a gate failure would
 // otherwise truncate the very profile needed to debug the regression.
-func run(fig string, scale float64, reps int, weighted bool, out, against string, minEff float64, cpuprofile, memprofile string, strategies []outofssa.Strategy) int {
-	if cpuprofile != "" {
-		f, err := os.Create(cpuprofile)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-			return 1
-		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-			return 1
-		}
-		defer func() {
-			pprof.StopCPUProfile()
-			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote CPU profile to %s\n", cpuprofile)
-		}()
+func run(fig string, scale float64, reps int, weighted bool, out, against string, minEff float64, strategies []outofssa.Strategy) int {
+	stop, err := profileflags.Start()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
+		return 1
 	}
-	if memprofile != "" {
-		defer func() {
-			f, err := os.Create(memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // materialize the final live set before snapshotting
-			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fmt.Fprintf(os.Stderr, "ssabench: %v\n", err)
-				return
-			}
-			fmt.Fprintf(os.Stderr, "wrote allocation profile to %s\n", memprofile)
-		}()
-	}
+	defer stop()
 
 	switch fig { // the trajectories have their own corpora; no SPEC suite
 	case "liveness":

@@ -26,6 +26,7 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/cmd/internal/profileflags"
 	"repro/outofssa"
 )
 
@@ -41,6 +42,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "keep parallel copies in the output")
 	stats := flag.Bool("stats", false, "print translation statistics")
 	run := flag.String("run", "", "interpret before/after with these comma-separated parameters")
+	profileflags.Register()
 	flag.Parse()
 
 	s, err := outofssa.ParseStrategy(*strategy)
@@ -56,26 +58,41 @@ func main() {
 	if *graph {
 		*livecheck = false
 	}
+	// dump (not main) owns the work so the deferred profile writers flush
+	// before the process exits.
+	os.Exit(dump(s, *virtualize, *graph, *livecheck, *linear, *parallel, *stats, *run))
+}
+
+func dump(s outofssa.Strategy, virtualize, graph, livecheck, linear, parallel, stats bool, run string) int {
+	stop, err := profileflags.Start()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer stop()
 
 	tr, err := outofssa.New(
 		outofssa.WithStrategy(s),
-		outofssa.WithVirtualization(*virtualize),
-		outofssa.WithFastLiveness(*livecheck),
-		outofssa.WithInterferenceGraph(*graph),
-		outofssa.WithLinearClassTest(*linear),
-		outofssa.WithParallelCopies(*parallel),
+		outofssa.WithVirtualization(virtualize),
+		outofssa.WithFastLiveness(livecheck),
+		outofssa.WithInterferenceGraph(graph),
+		outofssa.WithLinearClassTest(linear),
+		outofssa.WithParallelCopies(parallel),
 	)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 
 	src, err := readInput(flag.Arg(0))
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	funcs, err := outofssa.ParseAll(src)
 	if err != nil {
-		log.Fatal(err)
+		log.Print(err)
+		return 1
 	}
 	ctx := context.Background()
 	for i, f := range funcs {
@@ -85,36 +102,41 @@ func main() {
 		orig := outofssa.Clone(f)
 		res, err := tr.Translate(ctx, f)
 		if err != nil {
-			log.Fatal(err)
+			log.Print(err)
+			return 1
 		}
 		st := res.Stats
 		fmt.Print(f)
 
-		if *stats {
+		if stats {
 			fmt.Fprintf(os.Stderr, "%s: blocks=%d vars=%d phis=%d affinities=%d remaining=%d final-copies=%d cycle-copies=%d splits=%d tests=%d\n",
 				f.Name, st.Blocks, st.Vars, st.Phis, st.Affinities, st.RemainingCopies,
 				st.FinalCopies, st.CycleCopies, st.SplitEdges, st.IntersectionTests)
 		}
-		if *run != "" {
-			params, err := parseParams(*run)
+		if run != "" {
+			params, err := parseParams(run)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 			want, err := outofssa.Interpret(orig, params, 1_000_000)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 			got, err := outofssa.Interpret(f, params, 1_000_000)
 			if err != nil {
-				log.Fatal(err)
+				log.Print(err)
+				return 1
 			}
 			fmt.Fprintf(os.Stderr, "%s: before ret=%d trace=%v | after ret=%d trace=%v | equivalent=%v\n",
 				f.Name, want.Ret, want.Trace, got.Ret, got.Trace, outofssa.Equivalent(want, got))
 			if !outofssa.Equivalent(want, got) {
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
+	return 0
 }
 
 func readInput(path string) (string, error) {

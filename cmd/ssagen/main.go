@@ -27,6 +27,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/cmd/internal/profileflags"
 	"repro/outofssa"
 )
 
@@ -42,6 +43,7 @@ func main() {
 	strategy := flag.String("strategy", "",
 		"translate out of SSA with this coalescing strategy before printing: "+
 			strings.Join(outofssa.StrategyNames(), "|"))
+	profileflags.Register()
 	flag.Parse()
 
 	var tr *outofssa.Translator
@@ -65,7 +67,20 @@ func main() {
 	p.Funcs = *funcs
 	p.MaxStmts = *stmts
 	p.MinStmts = *stmts / 3
-	if *raw {
+	// emit (not main) owns the work so the deferred profile writers flush
+	// before the process exits.
+	os.Exit(emit(p, *raw, *fold, tr))
+}
+
+func emit(p outofssa.Profile, raw, fold bool, tr *outofssa.Translator) int {
+	stop, err := profileflags.Start()
+	if err != nil {
+		log.Print(err)
+		return 1
+	}
+	defer stop()
+
+	if raw {
 		p.Propagate = false
 		for i, f := range outofssa.GenerateRaw(p) {
 			if i > 0 {
@@ -73,7 +88,7 @@ func main() {
 			}
 			fmt.Print(f)
 		}
-		return
+		return 0
 	}
 
 	ctx := context.Background()
@@ -81,14 +96,17 @@ func main() {
 		if i > 0 {
 			fmt.Println()
 		}
-		if err := outofssa.BuildSSA(ctx, f, *fold); err != nil {
-			log.Fatalf("%s: %v", f.Name, err)
+		if err := outofssa.BuildSSA(ctx, f, fold); err != nil {
+			log.Printf("%s: %v", f.Name, err)
+			return 1
 		}
 		if tr != nil {
 			if _, err := tr.Translate(ctx, f); err != nil {
-				log.Fatalf("%s: %v", f.Name, err)
+				log.Printf("%s: %v", f.Name, err)
+				return 1
 			}
 		}
 		fmt.Print(f)
 	}
+	return 0
 }

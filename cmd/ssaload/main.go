@@ -1,0 +1,306 @@
+// Command ssaload drives the ssad translation daemon at a sweep of
+// offered-load points and records the serving-latency trajectory
+// (BENCH_serve.json): client-observed throughput and p50/p90/p99 latency
+// per concurrency level.
+//
+//	ssaload                              # self-host an in-process daemon over loopback
+//	ssaload -addr http://127.0.0.1:8377  # drive an external ssad
+//	ssaload -loads 1,4,16 -duration 5s -mode batch -batch 8 -out BENCH_serve.json
+//
+// With no -addr, ssaload starts the serve.Server in-process on a loopback
+// listener and drives it over real HTTP — the same wire path as an
+// external daemon, but reproducible in one command (`make bench-serve`).
+// Clients are closed-loop: each issues requests back to back for the
+// point's duration, so offered load is the client count. 429 load-shed
+// responses are counted per point and backed off briefly; only successful
+// requests enter the latency quantiles. The emitted report is gated by
+// the bench package's smoke checks (completed requests, no hard failures,
+// coherent quantiles) — a violation exits 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/outofssa"
+	"repro/outofssa/bench"
+	"repro/outofssa/serve"
+	"repro/outofssa/serve/client"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ssaload: ")
+	addr := flag.String("addr", "", "daemon base URL (e.g. http://127.0.0.1:8377); empty self-hosts an in-process server over loopback")
+	loads := flag.String("loads", "1,2,4", "comma-separated offered-load points (concurrent closed-loop clients)")
+	duration := flag.Duration("duration", 2*time.Second, "measurement window per load point")
+	warmup := flag.Duration("warmup", 500*time.Millisecond, "untimed warmup before the first point (JIT the pools and caches)")
+	funcs := flag.Int("funcs", 64, "distinct corpus functions to cycle through")
+	seed := flag.Int64("seed", 7103, "corpus generator seed")
+	mode := flag.String("mode", "translate", "request shape: translate (one function per request) or batch (NDJSON streaming)")
+	batch := flag.Int("batch", 8, "functions per request in -mode batch")
+	strategy := flag.String("strategy", "sharing",
+		"per-request coalescing strategy: "+strings.Join(outofssa.StrategyNames(), "|"))
+	inflight := flag.Int("inflight", 0, "self-hosted server: max in-flight requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "self-hosted server: admission queue depth (0 = sized to the largest load point)")
+	workers := flag.Int("workers", 0, "self-hosted server: batch workers per request (0 = GOMAXPROCS)")
+	out := flag.String("out", "", "also write the trajectory as JSON to this file")
+	flag.Parse()
+	os.Exit(run(*addr, *loads, *duration, *warmup, *funcs, *seed, *mode, *batch, *strategy, *inflight, *queue, *workers, *out))
+}
+
+func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed int64, mode string, batchN int, strategy string, inflight, queue, workers int, out string) int {
+	if _, err := outofssa.ParseStrategy(strategy); err != nil {
+		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+		return 2
+	}
+	if mode != "translate" && mode != "batch" {
+		fmt.Fprintf(os.Stderr, "ssaload: unknown mode %q (translate or batch)\n", mode)
+		return 2
+	}
+	loads, err := parseLoads(loadsCSV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+		return 2
+	}
+
+	// Deterministic corpus, rendered once to wire form.
+	p := outofssa.DefaultProfile("serveload", seed)
+	p.Funcs = funcs
+	var sources []string
+	for _, f := range outofssa.Generate(p) {
+		sources = append(sources, f.String())
+	}
+	if mode == "batch" {
+		sources = regroup(sources, batchN)
+	}
+
+	rep := &bench.ServeReport{
+		Addr:        addr,
+		Mode:        mode,
+		Strategy:    strategy,
+		CorpusFuncs: funcs,
+		Workers:     workers,
+		InFlight:    inflight,
+		Cores:       runtime.GOMAXPROCS(0),
+	}
+	if mode == "batch" {
+		rep.Batch = batchN
+	}
+
+	if addr == "" {
+		maxLoad := loads[len(loads)-1]
+		for _, l := range loads {
+			if l > maxLoad {
+				maxLoad = l
+			}
+		}
+		if queue == 0 {
+			// Size the queue to the sweep so the committed trajectory
+			// measures latency under load, not the 429 shed path (which
+			// has its own tests); pass -queue to study shedding.
+			queue = maxLoad
+		}
+		srv := serve.New(serve.Config{MaxInFlight: inflight, MaxQueue: queue, BatchWorkers: workers})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		addr = "http://" + ln.Addr().String()
+		rep.Addr = "self-hosted"
+		cfg := srv.Config()
+		rep.InFlight = cfg.MaxInFlight
+		rep.Workers = cfg.BatchWorkers
+	}
+
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	cl := client.New(addr, hc)
+
+	if warmup > 0 {
+		drive(cl, sources, mode, strategy, 1, warmup)
+	}
+	for _, clients := range loads {
+		pt := drive(cl, sources, mode, strategy, clients, duration)
+		rep.Points = append(rep.Points, pt)
+		fmt.Printf("clients=%d: %.1f req/s, %.1f funcs/s, p50=%.0fus p99=%.0fus (%d requests, %d 429s, %d failures)\n",
+			pt.Clients, pt.RequestsPerSec, pt.FuncsPerSec, pt.P50Micros, pt.P99Micros,
+			pt.Requests, pt.Overloaded, pt.Failures)
+	}
+
+	fmt.Println()
+	fmt.Print(bench.FormatServe(rep))
+	if st, err := cl.Stats(context.Background()); err == nil {
+		fmt.Printf("\ndaemon view: %d funcs ok, %d canceled, cache hit rate %.2f, server p50=%.0fus p99=%.0fus\n",
+			st.Functions.OK, st.Functions.Canceled, st.Cache.HitRate, st.Latency.P50Micros, st.Latency.P99Micros)
+	}
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", werr)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", out)
+	}
+
+	if violations := bench.CheckServe(rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "ssaload: smoke gate: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("smoke gate: every point served with coherent latency quantiles and no hard failures")
+	return 0
+}
+
+// drive runs one closed-loop load point and reduces it to a ServePoint.
+func drive(cl *client.Client, sources []string, mode, strategy string, clients int, d time.Duration) bench.ServePoint {
+	var (
+		wg         sync.WaitGroup
+		reqs       atomic.Int64
+		fails      atomic.Int64
+		overloaded atomic.Int64
+		funcs      atomic.Int64
+		next       atomic.Int64
+		mu         sync.Mutex
+	)
+	var lats []time.Duration
+	deadline := time.Now().Add(d)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			ctx := context.Background()
+			for time.Now().Before(deadline) {
+				src := sources[int(next.Add(1))%len(sources)]
+				req := serve.TranslateRequest{Source: src, Strategy: strategy, Quiet: true}
+				t0 := time.Now()
+				var err error
+				var done int64 = 1
+				if mode == "batch" {
+					var sum *serve.BatchSummary
+					sum, err = cl.Batch(ctx, req, nil)
+					if err == nil {
+						done = int64(sum.OK)
+						if sum.Failed > 0 {
+							err = errors.New("batch contained failed functions")
+						}
+					}
+				} else {
+					_, err = cl.Translate(ctx, req)
+				}
+				lat := time.Since(t0)
+				if err != nil {
+					if ra, ok := client.IsOverloaded(err); ok {
+						overloaded.Add(1)
+						// Honour the hint but keep the point alive.
+						if ra > 250*time.Millisecond {
+							ra = 250 * time.Millisecond
+						}
+						time.Sleep(ra)
+						continue
+					}
+					fails.Add(1)
+					continue
+				}
+				reqs.Add(1)
+				funcs.Add(done)
+				local = append(local, lat)
+			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	pt := bench.ServePoint{
+		Clients:     clients,
+		Requests:    reqs.Load(),
+		Failures:    fails.Load(),
+		Overloaded:  overloaded.Load(),
+		Funcs:       funcs.Load(),
+		DurationSec: elapsed.Seconds(),
+	}
+	if elapsed > 0 {
+		pt.RequestsPerSec = float64(pt.Requests) / elapsed.Seconds()
+		pt.FuncsPerSec = float64(pt.Funcs) / elapsed.Seconds()
+	}
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		q := func(f float64) float64 {
+			i := int(f * float64(len(lats)-1))
+			return float64(lats[i].Nanoseconds()) / 1e3
+		}
+		var sum time.Duration
+		for _, l := range lats {
+			sum += l
+		}
+		pt.P50Micros = q(0.50)
+		pt.P90Micros = q(0.90)
+		pt.P99Micros = q(0.99)
+		pt.MaxMicros = float64(lats[len(lats)-1].Nanoseconds()) / 1e3
+		pt.MeanMicros = float64(sum.Nanoseconds()) / float64(len(lats)) / 1e3
+	}
+	return pt
+}
+
+// regroup joins consecutive single-function sources into batch sources of
+// n functions each.
+func regroup(sources []string, n int) []string {
+	if n < 1 {
+		n = 1
+	}
+	var out []string
+	for i := 0; i < len(sources); i += n {
+		end := i + n
+		if end > len(sources) {
+			end = len(sources)
+		}
+		out = append(out, strings.Join(sources[i:end], "\n"))
+	}
+	return out
+}
+
+func parseLoads(csv string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(csv, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("invalid load point %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no load points")
+	}
+	return out, nil
+}

@@ -123,9 +123,13 @@ func runOne(ctx context.Context, p *Pipeline, funcs []*ir.Func, res *BatchResult
 }
 
 // runBatchSeq is the single-worker fast path: input order, no goroutines,
-// report invoked inline (one worker cannot contend with itself).
+// report invoked inline (one worker cannot contend with itself). The
+// scratch comes from the core pool — one Get/Put per batch, not per
+// function — so a long-lived caller (the serve daemon) reuses warm
+// buffers across requests instead of growing a fresh scratch each time.
 func runBatchSeq(ctx context.Context, funcs []*ir.Func, p *Pipeline, res *BatchResult, report func(int, *Context, error)) {
-	sc := core.NewScratch()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
 	for i := range funcs {
 		if ctx.Err() != nil {
 			break
@@ -179,12 +183,17 @@ func runBatchStealing(ctx context.Context, funcs []*ir.Func, p *Pipeline, res *B
 		wg.Add(1)
 		go func(self int) {
 			defer wg.Done()
-			// Fully private working state for the life of the batch: no
-			// scratch pool round-trips, no buffer ever shared with another
-			// core. The congruence list pool and the liveness worklist
-			// scratch ride inside (core.Scratch owns both), so the whole
-			// steady-state translation path is contention-free.
-			sc := core.NewScratch()
+			// Fully private working state for the life of the batch: one
+			// pool round-trip per worker per batch (not per function), no
+			// buffer ever shared with another core while the batch runs.
+			// The congruence list pool and the liveness worklist scratch
+			// ride inside (core.Scratch owns both), so the steady-state
+			// translation path is contention-free — and because the scratch
+			// returns to the core pool when the batch drains, a long-lived
+			// server translating many small batches reuses the same warm
+			// buffers across requests.
+			sc := core.GetScratch()
+			defer core.PutScratch(sc)
 			var buf []int32
 			q := &qs[self]
 			for {

@@ -120,10 +120,38 @@ type Result struct {
 	// CleanedBlocks counts degenerate jump blocks folded away after the
 	// rewrite.
 	CleanedBlocks int
+	// Cache reports how the function's analysis cache behaved during the
+	// run — how many analysis requests (dominance, def-use, liveness, the
+	// fast liveness checker, the interference graph) were served from the
+	// cache versus (re)computed. The serve layer aggregates these into its
+	// /v1/stats hit rate.
+	Cache CacheStats
 	// Err is the per-function failure: a *PassError for a failing pass,
 	// or the context's error when the batch was canceled before this
 	// function ran. Nil on success.
 	Err error
+}
+
+// CacheStats counts analysis-cache requests over one or more translations:
+// Hits were served from the per-function cache, Misses (re)computed. The
+// zero value is ready to use; Add folds another value in.
+type CacheStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Add folds st into c.
+func (c *CacheStats) Add(st CacheStats) {
+	c.Hits += st.Hits
+	c.Misses += st.Misses
+}
+
+// HitRate returns Hits / (Hits + Misses), or 0 when nothing was requested.
+func (c CacheStats) HitRate() float64 {
+	if c.Hits+c.Misses == 0 {
+		return 0
+	}
+	return float64(c.Hits) / float64(c.Hits+c.Misses)
 }
 
 // resultOf folds a pipeline outcome into the public Result shape.
@@ -135,6 +163,14 @@ func resultOf(f *Func, pctx *pipeline.Context, err error) Result {
 		r.CleanedBlocks = pctx.CleanedBlocks
 		if pctx.Stats != nil {
 			r.CleanedBlocks += pctx.Stats.CleanedBlocks
+		}
+		if pctx.Cache != nil {
+			for _, h := range pctx.Cache.Hits {
+				r.Cache.Hits += h
+			}
+			for _, m := range pctx.Cache.Misses {
+				r.Cache.Misses += m
+			}
 		}
 	}
 	return r

@@ -7,8 +7,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/outofssa"
 )
@@ -222,6 +224,41 @@ func TestStreamDeliversAll(t *testing.T) {
 	}
 	if got != 1 {
 		t.Fatalf("broke after %d results", got)
+	}
+}
+
+// TestStreamAbandonmentLeaksNoGoroutines pins down the property the serve
+// layer depends on: a client that walks away from a streamed batch (breaks
+// out of the iter.Seq2) must not strand the workers or the drainer. Every
+// abandoned Stream's goroutines — workers mid-function and the report
+// drainer — must exit once the yield stops pulling.
+func TestStreamAbandonmentLeaksNoGoroutines(t *testing.T) {
+	prof := outofssa.DefaultProfile("leak", 33)
+	prof.Funcs = 24
+	tr, err := outofssa.New(outofssa.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := runtime.NumGoroutine()
+	for round := 0; round < 8; round++ {
+		fns := outofssa.Generate(prof)
+		for range tr.Stream(context.Background(), fns) {
+			break // abandon with ~all of the batch unconsumed
+		}
+	}
+	// The workers observe abandonment at their next report; give them a
+	// bounded window to unwind rather than asserting instantaneous exit.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC() // nudge any parked finalizer-adjacent goroutines
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked by abandoned streams: %d before, %d after\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
 	}
 }
 

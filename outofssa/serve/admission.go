@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+)
+
+// errOverloaded is returned by gate.acquire when both the in-flight slots
+// and the wait queue are full; the handlers turn it into 429 with a
+// Retry-After hint.
+var errOverloaded = errors.New("serve: overloaded")
+
+// gate is the admission controller: a bounded in-flight semaphore with a
+// bounded wait queue in front of it. A request first tries to take a slot
+// outright; failing that it joins the queue (blocking on the semaphore)
+// unless the queue is already at capacity, in which case it is rejected
+// immediately — the server never buffers unbounded work, it sheds it.
+// Both depths are observable as gauges for /v1/stats.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int64
+	queued   atomic.Int64
+	inFlight atomic.Int64
+}
+
+func newGate(maxInFlight, maxQueue int) *gate {
+	return &gate{sem: make(chan struct{}, maxInFlight), maxQueue: int64(maxQueue)}
+}
+
+// acquire admits the caller or fails: errOverloaded when the queue is
+// full, the context's error when the caller gave up while queued. On nil
+// return the caller holds a slot and must release it.
+func (g *gate) acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		g.inFlight.Add(1)
+		return nil
+	default:
+	}
+	if g.queued.Add(1) > g.maxQueue {
+		g.queued.Add(-1)
+		return errOverloaded
+	}
+	defer g.queued.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		g.inFlight.Add(1)
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns the caller's slot.
+func (g *gate) release() {
+	g.inFlight.Add(-1)
+	<-g.sem
+}

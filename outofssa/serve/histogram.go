@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// The latency histogram: fixed exponential buckets, lock-free recording,
+// quantiles computed on scrape. Bucket bounds grow by 2^(1/4) (≈19% wide)
+// from 1µs, so 120 buckets span 1µs to ~18 minutes — per-request serving
+// latencies land in the fine-grained middle, and anything beyond the top
+// bound is clamped into the last bucket (the tracked maximum still reports
+// the true extreme).
+const (
+	histBuckets = 120
+	histBaseNs  = 1_000 // 1µs
+)
+
+// histBounds[i] is the inclusive upper bound (nanoseconds) of bucket i.
+var histBounds = func() [histBuckets]int64 {
+	var b [histBuckets]int64
+	for i := range b {
+		b[i] = int64(histBaseNs * math.Pow(2, float64(i)/4))
+	}
+	return b
+}()
+
+// histogram records durations concurrently; the zero value is ready.
+type histogram struct {
+	counts [histBuckets]atomic.Uint64
+	count  atomic.Int64
+	sumNs  atomic.Int64
+	maxNs  atomic.Int64
+}
+
+// observe records one duration.
+func (h *histogram) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns)].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(ns)
+	for {
+		old := h.maxNs.Load()
+		if ns <= old || h.maxNs.CompareAndSwap(old, ns) {
+			return
+		}
+	}
+}
+
+// bucketOf returns the bucket index for a nanosecond latency.
+func bucketOf(ns int64) int {
+	lo, hi := 0, histBuckets-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if ns <= histBounds[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}
+
+// histSnapshot is a consistent-enough copy of the histogram for quantile
+// evaluation (individual bucket reads are atomic; a scrape racing new
+// observations may be off by the in-flight handful, which is fine for
+// monitoring).
+type histSnapshot struct {
+	counts [histBuckets]uint64
+	count  int64
+	sumNs  int64
+	maxNs  int64
+}
+
+func (h *histogram) snapshot() histSnapshot {
+	var s histSnapshot
+	for i := range h.counts {
+		s.counts[i] = h.counts[i].Load()
+	}
+	s.count = h.count.Load()
+	s.sumNs = h.sumNs.Load()
+	s.maxNs = h.maxNs.Load()
+	return s
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) in nanoseconds, linearly
+// interpolated inside the containing bucket and clamped to the tracked
+// maximum (interpolation toward a bucket's upper bound would otherwise
+// report a latency larger than any ever observed); 0 when empty.
+func (s *histSnapshot) quantile(q float64) float64 {
+	var total uint64
+	for i := range s.counts {
+		total += s.counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var seen float64
+	for i, c := range s.counts {
+		if c == 0 {
+			continue
+		}
+		if seen+float64(c) >= rank {
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(histBounds[i-1])
+			}
+			hi := float64(histBounds[i])
+			frac := (rank - seen) / float64(c)
+			return min(lo+(hi-lo)*frac, float64(s.maxNs))
+		}
+		seen += float64(c)
+	}
+	return float64(s.maxNs)
+}
+
+// mean returns the mean latency in nanoseconds; 0 when empty.
+func (s *histSnapshot) mean() float64 {
+	if s.count == 0 {
+		return 0
+	}
+	return float64(s.sumNs) / float64(s.count)
+}

@@ -1,0 +1,424 @@
+// Package serve turns the out-of-SSA engine into a long-lived service: a
+// Server wraps outofssa.Translator behind an HTTP+JSON API with per-request
+// strategy/options, NDJSON-streamed batch results in completion order,
+// admission control with backpressure (bounded in-flight slots, bounded
+// queue, 429 + Retry-After on overflow), per-request deadlines, graceful
+// drain, and a /v1/stats surface exposing the paper's Figure 5-style
+// counters, analysis-cache hit rates, and serving-latency quantiles.
+//
+//	POST /v1/translate  one function  → JSON TranslateResponse
+//	POST /v1/batch      many functions → NDJSON BatchItem*, BatchSummary
+//	GET  /v1/stats      → JSON StatsResponse
+//	GET  /healthz       → 200 (503 while draining)
+//
+// Request bodies are either a JSON TranslateRequest or — for curl-ability —
+// the raw textual IR with options as query parameters. Client disconnects
+// propagate: the request context cancels the translation at its next pass
+// boundary (single functions) or stops the batch driver from dispatching
+// further functions (batches), exactly the ctx plumbing outofssa.Translate
+// and Stream already honour.
+//
+// The companion package serve/client is the typed Go client; cmd/ssad is
+// the daemon around this package and cmd/ssaload the load generator.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/outofssa"
+)
+
+// Config tunes a Server; the zero value selects every default.
+type Config struct {
+	// MaxInFlight bounds concurrently admitted requests (a batch counts as
+	// one — its internal parallelism is BatchWorkers). <= 0 selects
+	// GOMAXPROCS.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot before the server sheds
+	// load with 429; 0 selects 4 × MaxInFlight, negative means no queue at
+	// all (reject the moment the in-flight slots are taken).
+	MaxQueue int
+	// DefaultTimeout is the per-request deadline when the request names
+	// none; <= 0 selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested deadline; <= 0 selects 5m.
+	MaxTimeout time.Duration
+	// BatchWorkers is the worker-pool size each /v1/batch request
+	// translates on; <= 0 selects GOMAXPROCS (per request — combined with
+	// MaxInFlight this bounds total parallelism).
+	BatchWorkers int
+	// MaxRequestBytes caps request bodies; <= 0 selects 16 MiB.
+	MaxRequestBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	case c.MaxQueue == 0:
+		c.MaxQueue = 4 * c.MaxInFlight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxRequestBytes <= 0 {
+		c.MaxRequestBytes = 16 << 20
+	}
+	return c
+}
+
+// Server is the translation service. It is an http.Handler; New is the
+// only constructor. A Server is safe for concurrent use and designed to
+// live for the process's lifetime.
+type Server struct {
+	cfg      Config
+	mux      *http.ServeMux
+	gate     *gate
+	stats    serverStats
+	start    time.Time
+	draining atomic.Bool
+
+	// holdForTest, when non-nil, blocks every admitted request until the
+	// channel is closed — the backpressure tests use it to pin the
+	// in-flight slots deterministically.
+	holdForTest chan struct{}
+}
+
+// New builds a Server from cfg (zero value for defaults).
+func New(cfg Config) *Server {
+	s := &Server{cfg: cfg.withDefaults(), start: time.Now()}
+	s.gate = newGate(s.cfg.MaxInFlight, s.cfg.MaxQueue)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/translate", s.handleTranslate)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// Config returns the server's configuration after defaulting.
+func (s *Server) Config() Config { return s.cfg }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Drain puts the server into drain mode: new work is refused with 503 +
+// Retry-After while requests already admitted run to completion. The
+// daemon calls it on SIGTERM before http.Server.Shutdown, so a load
+// balancer sees the instance refuse crisply instead of queueing doomed
+// work.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// AdminHandler returns the opt-in admin surface: /debug/pprof/* and a
+// duplicate /v1/stats. The daemon binds it to a separate (typically
+// loopback-only) port so profiling is never exposed on the serving
+// address.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+// ---------------------------------------------------------------- handlers
+
+func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqTranslate.Add(1)
+	req, tr, ok := s.prepare(w, r)
+	if !ok {
+		return
+	}
+	fns, err := outofssa.ParseAll(req.Source)
+	if err == nil && len(fns) != 1 {
+		err = fmt.Errorf("serve: /v1/translate takes exactly one function, got %d (use /v1/batch)", len(fns))
+	}
+	if err != nil {
+		s.stats.reqBadRequest.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	ctx, cancel, admitted := s.admit(w, r, req)
+	if !admitted {
+		return
+	}
+	defer cancel()
+	defer s.gate.release()
+	s.hold()
+
+	res, terr := tr.Translate(ctx, fns[0])
+	s.stats.hist.observe(time.Since(start))
+	canceled := isCanceled(terr)
+	s.stats.foldFunc(&res, canceled)
+	switch {
+	case canceled:
+		s.stats.reqCanceled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: translation canceled: %w", terr))
+		return
+	case terr != nil:
+		s.stats.reqFailed.Add(1)
+		writeError(w, http.StatusUnprocessableEntity, terr)
+		return
+	}
+	s.stats.reqOK.Add(1)
+	resp := &TranslateResponse{
+		Name:          fns[0].Name,
+		Output:        fns[0].String(),
+		Stats:         res.Stats,
+		CleanedBlocks: res.CleanedBlocks,
+		CacheHits:     res.Cache.Hits,
+		CacheMisses:   res.Cache.Misses,
+		ElapsedMicros: float64(time.Since(start).Nanoseconds()) / 1e3,
+	}
+	if res.Alloc != nil {
+		resp.RegsUsed = res.Alloc.RegsUsed
+		resp.Spills = res.Alloc.Spills
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.stats.reqBatch.Add(1)
+	req, tr, ok := s.prepare(w, r)
+	if !ok {
+		return
+	}
+	fns, err := outofssa.ParseAll(req.Source)
+	if err == nil && len(fns) == 0 {
+		err = fmt.Errorf("serve: batch with no functions")
+	}
+	if err != nil {
+		s.stats.reqBadRequest.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+
+	start := time.Now()
+	ctx, cancel, admitted := s.admit(w, r, req)
+	if !admitted {
+		return
+	}
+	defer cancel()
+	defer s.gate.release()
+	s.hold()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+
+	sum := BatchSummary{Done: true, Funcs: len(fns)}
+	var agg outofssa.Stats
+	clientGone := false
+	for i, res := range tr.Stream(ctx, fns) {
+		canceled := isCanceled(res.Err)
+		s.stats.foldFunc(&res, canceled)
+		item := BatchItem{Index: i, Name: fns[i].Name}
+		switch {
+		case canceled:
+			sum.Canceled++
+			item.Canceled = true
+			item.Error = res.Err.Error()
+		case res.Err != nil:
+			sum.Failed++
+			item.Error = res.Err.Error()
+			var perr *outofssa.PassError
+			if errors.As(res.Err, &perr) {
+				item.Pass = perr.Pass
+			}
+		default:
+			sum.OK++
+			item.Stats = res.Stats
+			if !req.Quiet {
+				item.Output = fns[i].String()
+			}
+			if res.Stats != nil {
+				agg.Accumulate(res.Stats)
+			}
+		}
+		if !clientGone {
+			if err := enc.Encode(&item); err != nil {
+				// The client went away; keep consuming the stream so the
+				// batch accounting stays complete — ctx (the request
+				// context) is already canceled, so remaining work stops at
+				// pass boundaries and skipped functions are never yielded.
+				clientGone = true
+			} else {
+				rc.Flush()
+			}
+		}
+	}
+	// Functions never claimed before cancellation are not yielded by
+	// Stream; account them as canceled — in the summary and in the daemon's
+	// cumulative counters, so every submitted function of an admitted batch
+	// lands in exactly one functions bucket.
+	if skipped := sum.Funcs - sum.OK - sum.Failed - sum.Canceled; skipped > 0 {
+		sum.Canceled += skipped
+		s.stats.funcsCanceled.Add(int64(skipped))
+	}
+	sum.Stats = &agg
+	sum.ElapsedMicros = float64(time.Since(start).Nanoseconds()) / 1e3
+	s.stats.hist.observe(time.Since(start))
+	if ctx.Err() != nil || clientGone {
+		s.stats.reqCanceled.Add(1)
+	} else if sum.Failed > 0 {
+		s.stats.reqFailed.Add(1)
+	} else {
+		s.stats.reqOK.Add(1)
+	}
+	if !clientGone {
+		if enc.Encode(&sum) == nil {
+			rc.Flush()
+		}
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statsResponse())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// ------------------------------------------------------------- scaffolding
+
+// prepare performs the per-request steps shared by translate and batch:
+// drain refusal, body limit, request parsing, translator construction.
+func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (TranslateRequest, *outofssa.Translator, bool) {
+	if s.draining.Load() {
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+		return TranslateRequest{}, nil, false
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)
+	req, err := parseRequest(r)
+	if err != nil {
+		s.stats.reqBadRequest.Add(1)
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return req, nil, false
+	}
+	if req.Strategy == "" {
+		req.Strategy = "sharing"
+	}
+	// The worker bound is the server's capacity decision, not the
+	// client's: per-request workers are deliberately not a request field.
+	var extra []outofssa.Option
+	if s.cfg.BatchWorkers > 0 {
+		extra = append(extra, outofssa.WithWorkers(s.cfg.BatchWorkers))
+	}
+	tr, err := req.translator(extra...)
+	if err != nil {
+		s.stats.reqBadRequest.Add(1)
+		writeError(w, http.StatusBadRequest, err)
+		return req, nil, false
+	}
+	return req, tr, true
+}
+
+// admit runs admission control and deadline setup. On false the response
+// has been written (429/timeout accounting included). On true the caller
+// holds a gate slot and owes both cancel and gate.release.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, req TranslateRequest) (context.Context, context.CancelFunc, bool) {
+	d := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		d = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	if err := s.gate.acquire(ctx); err != nil {
+		cancel()
+		if errors.Is(err, errOverloaded) {
+			s.stats.reqOverloaded.Add(1)
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+			writeError(w, http.StatusTooManyRequests, errors.New("serve: overloaded: in-flight slots and queue full"))
+			return nil, nil, false
+		}
+		// The caller gave up (disconnect) or timed out while queued.
+		s.stats.reqCanceled.Add(1)
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("serve: queued past deadline: %w", err))
+		return nil, nil, false
+	}
+	return ctx, cancel, true
+}
+
+// hold is the test hook: block while the package tests pin the slots.
+func (s *Server) hold() {
+	if s.holdForTest != nil {
+		<-s.holdForTest
+	}
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from observed mean
+// latency and current congestion: roughly how long until a queue slot
+// frees up, at least 1s.
+func (s *Server) retryAfterSeconds() int {
+	snap := s.stats.hist.snapshot()
+	mean := snap.mean() / 1e9 // seconds
+	waiting := float64(s.gate.queued.Load()+s.gate.inFlight.Load()) / float64(s.cfg.MaxInFlight)
+	sec := int(math.Ceil(mean * waiting))
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > 60 {
+		sec = 60
+	}
+	return sec
+}
+
+// isCanceled reports whether err is a cancellation outcome (client
+// disconnect or deadline) rather than a pass rejection. The pipeline
+// returns the context's error for functions stopped at a pass boundary and
+// for functions never claimed.
+func isCanceled(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
