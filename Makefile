@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale bench-serve
+.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale bench-serve bench-memo
 
 # Scale of the liveness trajectory corpus; CI uses the short default, local
 # runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
@@ -23,6 +23,13 @@ SCALE_MINEFF ?= 0.6
 SERVE_LOADS ?= 1,2,4
 SERVE_DURATION ?= 2s
 SERVE_FUNCS ?= 64
+# Memoization trajectory: base functions, near-duplicate clones per base,
+# best-of repetitions per timed pass, and the daemon-traffic point.
+MEMO_FUNCS ?= 12
+MEMO_CLONES ?= 3
+MEMO_REPS ?= 3
+MEMO_LOADS ?= 2
+MEMO_DURATION ?= 1s
 
 build:
 	$(GO) build ./...
@@ -83,4 +90,13 @@ bench-scale:
 bench-serve:
 	$(GO) run ./cmd/ssaload -loads $(SERVE_LOADS) -duration $(SERVE_DURATION) -funcs $(SERVE_FUNCS) -out BENCH_serve.json
 
-ci: vet build test race examples
+# Measure content-hash translation memoization on a near-duplicate corpus:
+# uncached / memo-cold / memo-warm batch passes, the differential oracle on
+# every case x strategy row, and a daemon-traffic point with the server's
+# memo hit rate. The built-in gate fails the target unless the warm pass is
+# >=2x faster than cold with a full hit rate and every oracle row is clean.
+bench-memo:
+	$(GO) run ./cmd/ssaload -dup -funcs $(MEMO_FUNCS) -clones $(MEMO_CLONES) -reps $(MEMO_REPS) \
+		-loads $(MEMO_LOADS) -duration $(MEMO_DURATION) -out BENCH_memo.json
+
+ci: vet build test race examples bench-memo

@@ -51,6 +51,8 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "default per-request deadline (requests may ask for less via timeout_ms)")
 	maxTimeout := flag.Duration("maxtimeout", 5*time.Minute, "ceiling on requested per-request deadlines")
 	workers := flag.Int("workers", 0, "translation workers per /v1/batch request (0 = GOMAXPROCS)")
+	memoEntries := flag.Int("memo-entries", 0, "max entries in the shared translation memo (0 = default 4096, negative disables memoization)")
+	memoBytes := flag.Int64("memo-bytes", 0, "approximate byte budget of the translation memo (0 = default 256 MiB)")
 	drain := flag.Duration("drain", 15*time.Second, "graceful drain window on SIGINT/SIGTERM before in-flight work is aborted")
 	profileflags.Register()
 	flag.Usage = func() {
@@ -67,6 +69,8 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		BatchWorkers:   *workers,
+		MemoEntries:    *memoEntries,
+		MemoBytes:      *memoBytes,
 	}, *drain))
 }
 

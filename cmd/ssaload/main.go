@@ -58,7 +58,13 @@ func main() {
 	queue := flag.Int("queue", 0, "self-hosted server: admission queue depth (0 = sized to the largest load point)")
 	workers := flag.Int("workers", 0, "self-hosted server: batch workers per request (0 = GOMAXPROCS)")
 	out := flag.String("out", "", "also write the trajectory as JSON to this file")
+	dup := flag.Bool("dup", false, "memoization trajectory: near-duplicate corpus, cold/warm batch passes + differential oracle locally, then daemon traffic with memo hit rate (writes a memo report, not a serve report)")
+	clones := flag.Int("clones", 3, "near-duplicate clones per base function in -dup mode")
+	reps := flag.Int("reps", 3, "best-of repetitions per timed batch pass in -dup mode")
 	flag.Parse()
+	if *dup {
+		os.Exit(runDup(*addr, *loads, *duration, *warmup, *funcs, *seed, *clones, *reps, *strategy, *inflight, *queue, *workers, *out))
+	}
 	os.Exit(run(*addr, *loads, *duration, *warmup, *funcs, *seed, *mode, *batch, *strategy, *inflight, *queue, *workers, *out))
 }
 
@@ -176,6 +182,109 @@ func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed 
 	}
 	fmt.Println("smoke gate: every point served with coherent latency quantiles and no hard failures")
 	return 0
+}
+
+// runDup is the -dup entry point: the memoization trajectory. The batch
+// half (uncached / memo-cold / memo-warm passes plus the differential
+// oracle on every case × strategy row) runs in-process via bench; the
+// daemon half replays the same near-duplicate corpus against a memo-enabled
+// server and reads the memo hit rate back from /v1/stats.
+func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed int64, clones, reps int, strategy string, inflight, queue, workers int, out string) int {
+	if _, err := outofssa.ParseStrategy(strategy); err != nil {
+		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+		return 2
+	}
+	loads, err := parseLoads(loadsCSV)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+		return 2
+	}
+	clients := loads[0]
+
+	corpus := bench.MemoCorpus(funcs, clones, seed)
+	rep := &bench.MemoReport{BaseFuncs: funcs, Clones: clones, Seed: seed}
+	if err := bench.RunMemoBatch(rep, corpus, workers, reps); err != nil {
+		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+		return 1
+	}
+
+	var sources []string
+	for _, f := range corpus {
+		sources = append(sources, f.String())
+	}
+
+	if addr == "" {
+		srv := serve.New(serve.Config{MaxInFlight: inflight, MaxQueue: maxInt(queue, clients), BatchWorkers: workers})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+			return 1
+		}
+		hs := &http.Server{Handler: srv}
+		go hs.Serve(ln)
+		defer hs.Close()
+		addr = "http://" + ln.Addr().String()
+	}
+	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
+	cl := client.New(addr, hc)
+
+	if warmup > 0 {
+		drive(cl, sources, "translate", strategy, 1, warmup)
+	}
+	before, berr := cl.Stats(context.Background())
+	pt := drive(cl, sources, "translate", strategy, clients, duration)
+	after, aerr := cl.Stats(context.Background())
+
+	dp := &bench.MemoDaemonPoint{
+		Clients:   pt.Clients,
+		Requests:  pt.Requests,
+		Funcs:     pt.Funcs,
+		P50Micros: pt.P50Micros,
+		P99Micros: pt.P99Micros,
+	}
+	if berr == nil && aerr == nil && before.Memo != nil && after.Memo != nil {
+		hits := after.Memo.Hits - before.Memo.Hits
+		misses := after.Memo.Misses - before.Memo.Misses
+		if hits+misses > 0 {
+			dp.MemoHitRate = float64(hits) / float64(hits+misses)
+		}
+	}
+	rep.Daemon = dp
+
+	fmt.Print(bench.FormatMemo(rep))
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+			return 1
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", werr)
+			return 1
+		}
+		fmt.Printf("\nwrote %s\n", out)
+	}
+
+	if violations := bench.CheckMemo(rep); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintf(os.Stderr, "ssaload: memo gate: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("memo gate: warm >=2x faster than cold, full warm hit rate, every differential row clean")
+	return 0
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }
 
 // drive runs one closed-loop load point and reduces it to a ServePoint.

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// addPrint appends "print v" before the terminator of b and marks the edit
+// as block-attributed, the shape incremental repair exists for.
+func addPrint(f *ir.Func, b *ir.Block, v ir.VarID) {
+	n := len(b.Instrs)
+	b.Instrs = append(b.Instrs[:n-1],
+		&ir.Instr{Op: ir.OpPrint, Uses: []ir.VarID{v}}, b.Instrs[n-1])
+	f.MarkBlockMutated(b)
+}
+
+// TestCacheIncrementalRepair: in incremental mode a block-attributed edit
+// patches the cached def-use index and liveness in place — same objects,
+// Repairs counted, results equal to from-scratch computations.
+func TestCacheIncrementalRepair(t *testing.T) {
+	f := buildDiamond(t)
+	c := NewCache(f)
+	c.EnableIncremental()
+
+	du := c.DefUse()
+	live := c.Liveness(liveness.Bitsets)
+	if !du.Repairable() || !live.Repairable() {
+		t.Fatal("incremental mode must build repairable analyses")
+	}
+
+	// x becomes live through both arms of the diamond.
+	join := f.Blocks[3]
+	x := f.Vars[0].ID
+	addPrint(f, join, x)
+
+	if c.DefUse() != du {
+		t.Fatal("repairable def-use index was rebuilt instead of patched")
+	}
+	if c.Liveness(liveness.Bitsets) != live {
+		t.Fatal("repairable liveness was recomputed instead of patched")
+	}
+	if c.Repairs[DefUse] != 1 || c.Repairs[Liveness] != 1 {
+		t.Fatalf("repairs = %v, want one for defuse and one for liveness", c.Repairs)
+	}
+	if c.Misses[DefUse] != 1 || c.Misses[Liveness] != 1 {
+		t.Fatalf("a repair must not count as a miss: misses = %v", c.Misses)
+	}
+
+	// The patched results match from-scratch computations.
+	want := ir.NewDefUse(f)
+	if len(du.Uses(x)) != len(want.Uses(x)) {
+		t.Fatalf("patched def-use has %d uses of x, fresh index %d",
+			len(du.Uses(x)), len(want.Uses(x)))
+	}
+	ref := liveness.ComputeReference(f, liveness.Bitsets)
+	for _, b := range f.Blocks {
+		for v := range f.Vars {
+			vid := ir.VarID(v)
+			if live.LiveInBlock(vid, b.ID) != ref.LiveInBlock(vid, b.ID) ||
+				live.LiveOutBlock(vid, b.ID) != ref.LiveOutBlock(vid, b.ID) {
+				t.Fatalf("patched liveness differs from reference at %s/%s", b.Name, f.VarName(vid))
+			}
+		}
+	}
+	if !live.LiveInBlock(x, join.ID) {
+		t.Fatal("patched liveness missed the new use")
+	}
+}
+
+// TestCacheIncrementalFallsBackOnWholesaleEdit: an unattributed mutation
+// (NewVar poisons the dirty log) must recompute, not repair.
+func TestCacheIncrementalFallsBackOnWholesaleEdit(t *testing.T) {
+	f := buildDiamond(t)
+	c := NewCache(f)
+	c.EnableIncremental()
+
+	du := c.DefUse()
+	live := c.Liveness(liveness.Bitsets)
+
+	v := f.NewVar("w") // wholesale: poisons the dirty log
+	entry := f.Entry()
+	ir.InsertBefore(entry, ir.CopyInsertIndex(entry), &ir.Instr{
+		Op: ir.OpCopy, Defs: []ir.VarID{v}, Uses: []ir.VarID{entry.Instrs[0].Defs[0]},
+	})
+
+	if c.DefUse() == du {
+		t.Fatal("stale def-use served (or repaired) after an unattributed edit")
+	}
+	if c.Liveness(liveness.Bitsets) == live {
+		t.Fatal("stale liveness served (or repaired) after an unattributed edit")
+	}
+	if c.Repairs[DefUse] != 0 || c.Repairs[Liveness] != 0 {
+		t.Fatalf("unattributed edit must not count as repair: %v", c.Repairs)
+	}
+	if c.Misses[DefUse] != 2 || c.Misses[Liveness] != 2 {
+		t.Fatalf("misses = %v, want 2 each", c.Misses)
+	}
+}
+
+// TestCachePreserveIncremental: the TestCachePreserve contract holds in
+// incremental mode — a hand-maintained def-use index revalidated with
+// Preserve is served as-is (a hit, not a repair), while the stale liveness
+// is brought current (here via repair, since the edit was block-attributed)
+// and must reflect the new use.
+func TestCachePreserveIncremental(t *testing.T) {
+	f := buildDiamond(t)
+	c := NewCache(f)
+	c.EnableIncremental()
+
+	du := c.DefUse()
+	live := c.Liveness(liveness.Bitsets)
+
+	// The "pass" adds a use of x in join, maintains def-use by hand, and
+	// declares so; liveness is left stale.
+	join := f.Blocks[3]
+	x := f.Vars[0].ID
+	idx := len(join.Instrs) - 1
+	in := &ir.Instr{Op: ir.OpPrint, Uses: []ir.VarID{x}}
+	ir.InsertBefore(join, idx, in)
+	f.MarkBlockMutated(join)
+	du.AddUse(x, join.ID, ir.SlotOfInstr(idx), in)
+	c.Preserve(DefUse)
+
+	hits := c.Hits[DefUse]
+	if c.DefUse() != du {
+		t.Fatal("preserved def-use index was recomputed")
+	}
+	if c.Hits[DefUse] != hits+1 || c.Repairs[DefUse] != 0 {
+		t.Fatalf("preserve must serve a plain hit: hits %d→%d, repairs %d",
+			hits, c.Hits[DefUse], c.Repairs[DefUse])
+	}
+	if c.Liveness(liveness.Bitsets) != live || c.Repairs[Liveness] != 1 {
+		t.Fatal("stale liveness was not repaired in place")
+	}
+	if !live.LiveInBlock(x, join.ID) {
+		t.Fatal("repaired liveness does not see the new use — stale data served")
+	}
+}

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/coalesce"
+	"repro/internal/ir"
+)
+
+// Memo is a concurrency-safe, bounded store of completed translations,
+// keyed by the input function's structural fingerprint plus an options
+// fingerprint. On a hit the stored output is materialized into the caller's
+// function with the zero-alloc ir.CloneInto and the caller's variable
+// identities (names, register pins, derivation links) are restored over the
+// original universe prefix, so a memoized result is bit-identical to a
+// fresh translation of the same input modulo the display names of
+// translation-minted blocks.
+//
+// Determinism across sharers: translation decisions depend only on function
+// structure (names never feed them), so two workers that race to translate
+// structurally identical inputs store identical entries — Store is
+// idempotent on an existing key and the winner is irrelevant.
+//
+// Eviction is LRU, bounded both by entry count and by an approximate byte
+// budget of the retained output functions.
+type Memo struct {
+	mu         sync.Mutex
+	entries    map[MemoKey]*list.Element
+	lru        list.List // front = most recent; values are *memoEnt
+	maxEntries int
+	maxBytes   int64
+
+	bytes     int64
+	hits      uint64
+	misses    uint64
+	evictions uint64
+}
+
+// MemoKey identifies one translation: the two fingerprint lanes of the
+// input plus the packed options word.
+type MemoKey struct {
+	FPHi, FPLo uint64
+	Opt        uint64
+}
+
+// MemoKeyFor derives the memo key of translating f under opt.
+func MemoKeyFor(f *ir.Func, opt Options) MemoKey {
+	fp := f.Fingerprint()
+	return MemoKey{FPHi: fp.Hi, FPLo: fp.Lo, Opt: optionsWord(opt)}
+}
+
+// optionsWord packs every Options field that can influence the translated
+// output or its reported statistics into one word. ReferenceQueries and
+// ReferenceAlloc never change results, but they do change the measured
+// footprint/instrumentation fields the differential oracles compare, so
+// they key separately too.
+func optionsWord(o Options) uint64 {
+	w := uint64(o.Strategy) & 0xf
+	set := func(bit uint, v bool) {
+		if v {
+			w |= 1 << (4 + bit)
+		}
+	}
+	set(0, o.Virtualize)
+	set(1, o.UseGraph)
+	set(2, o.LiveCheck)
+	set(3, o.Linear)
+	set(4, o.OrderedSets)
+	set(5, o.SplitCriticalEdges)
+	set(6, o.KeepParallelCopies)
+	set(7, o.ReferenceQueries)
+	set(8, o.ReferenceAlloc)
+	return w
+}
+
+// MemoEntry is one stored translation. It is immutable after Store;
+// concurrent Materialize calls only read it.
+type MemoEntry struct {
+	key      MemoKey
+	out      *ir.Func // private clone of the translated output
+	stats    Stats    // value copy; per-phase nanos zeroed
+	statuses []coalesce.Status
+	inVars   int // size of the input's variable universe at key time
+	size     int64
+}
+
+// Statuses returns the per-affinity coalescing decisions of the stored
+// translation (the Figure 5 accounting), for differential comparison
+// against an uncached run.
+func (e *MemoEntry) Statuses() []coalesce.Status { return e.statuses }
+
+// MemoStats is a point-in-time snapshot of a Memo's counters.
+type MemoStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
+	Bytes                   int64
+}
+
+// Memo size defaults, used when a caller passes 0 for a bound.
+const (
+	DefaultMemoEntries = 4096
+	DefaultMemoBytes   = 256 << 20
+)
+
+// NewMemo returns a memo bounded to maxEntries entries and maxBytes of
+// retained output (approximate). Zero selects the default for either
+// bound; negative disables that bound.
+func NewMemo(maxEntries int, maxBytes int64) *Memo {
+	if maxEntries == 0 {
+		maxEntries = DefaultMemoEntries
+	}
+	if maxBytes == 0 {
+		maxBytes = DefaultMemoBytes
+	}
+	return &Memo{
+		entries:    map[MemoKey]*list.Element{},
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+	}
+}
+
+// Lookup returns the stored entry for key, or nil, counting a hit or miss.
+func (m *Memo) Lookup(key MemoKey) *MemoEntry {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[key]
+	if !ok {
+		m.misses++
+		return nil
+	}
+	m.hits++
+	m.lru.MoveToFront(el)
+	return el.Value.(*MemoEntry)
+}
+
+// Store records the translated output of the function keyed by key: f must
+// be the post-translation state, inVars the input's variable-universe size
+// when the key was derived (translation only appends variables), st the
+// final statistics and statuses the coalescing decisions. The output is
+// cloned into private storage; f is not retained. Storing an existing key
+// refreshes its recency and changes nothing else — concurrent duplicate
+// misses store identical entries, so first-wins is deterministic.
+func (m *Memo) Store(key MemoKey, f *ir.Func, inVars int, st *Stats, statuses []coalesce.Status) {
+	out := ir.Clone(f)
+	e := &MemoEntry{
+		key:      key,
+		out:      out,
+		stats:    *st,
+		statuses: append([]coalesce.Status(nil), statuses...),
+		inVars:   inVars,
+		size:     approxFuncBytes(out) + int64(len(statuses)),
+	}
+	e.stats.InsertNanos, e.stats.AnalyzeNanos = 0, 0
+	e.stats.CoalesceNanos, e.stats.RewriteNanos = 0, 0
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.entries[key]; ok {
+		m.lru.MoveToFront(el)
+		return
+	}
+	m.entries[key] = m.lru.PushFront(e)
+	m.bytes += e.size
+	for (m.maxEntries > 0 && m.lru.Len() > m.maxEntries) ||
+		(m.maxBytes > 0 && m.bytes > m.maxBytes && m.lru.Len() > 1) {
+		back := m.lru.Back()
+		victim := back.Value.(*MemoEntry)
+		m.lru.Remove(back)
+		delete(m.entries, victim.key)
+		m.bytes -= victim.size
+		m.evictions++
+	}
+}
+
+// Materialize overwrites f with the stored translated output, preserving
+// f's name and the identities (name, register pin, derivation base) of the
+// original variable-universe prefix, and returns a private copy of the
+// stored statistics (phase nanos zero: no phases ran). varBuf is optional
+// reusable scratch for the identity snapshot; the possibly-grown buffer is
+// returned for the caller to keep.
+//
+// Translation never removes or reorders variables, and renaming picks class
+// representatives by ID, so the stored output's structure is exactly what
+// translating f would produce; only display names of variables the stored
+// input minted during translation (and block names) come from the
+// first-stored input. Comparisons (Equivalent, statuses, metrics) are
+// name-insensitive.
+func (e *MemoEntry) Materialize(f *ir.Func, varBuf []ir.Var) (*Stats, []ir.Var) {
+	if cap(varBuf) < e.inVars {
+		varBuf = make([]ir.Var, e.inVars)
+	}
+	varBuf = varBuf[:e.inVars]
+	for i := range varBuf {
+		varBuf[i] = *f.Vars[i]
+	}
+	name := f.Name
+	ir.CloneInto(f, e.out)
+	f.Name = name
+	for i := range varBuf {
+		*f.Vars[i] = varBuf[i]
+	}
+	st := e.stats
+	return &st, varBuf
+}
+
+// Stats snapshots the memo's counters.
+func (m *Memo) Stats() MemoStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return MemoStats{
+		Hits:      m.hits,
+		Misses:    m.misses,
+		Evictions: m.evictions,
+		Entries:   m.lru.Len(),
+		Bytes:     m.bytes,
+	}
+}
+
+// approxFuncBytes estimates the retained footprint of a stored output
+// function for the byte budget: operands, instruction and variable
+// records, and block structure. An estimate is enough — the budget guards
+// against unbounded growth, not exact accounting.
+func approxFuncBytes(f *ir.Func) int64 {
+	const (
+		varBytes   = 48
+		instrBytes = 64
+		blockBytes = 96
+	)
+	n := int64(len(f.Vars))*varBytes + int64(len(f.Blocks))*blockBytes
+	for _, b := range f.Blocks {
+		n += int64(len(b.Phis)+len(b.Instrs)) * instrBytes
+		for _, in := range b.Phis {
+			n += int64(len(in.Defs)+len(in.Uses)) * 4
+		}
+		for _, in := range b.Instrs {
+			n += int64(len(in.Defs)+len(in.Uses)) * 4
+		}
+		n += int64(len(b.Preds)+len(b.Succs)) * 8
+	}
+	return n
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/coalesce"
 	"repro/internal/congruence"
+	"repro/internal/ir"
 	"repro/internal/liveness"
 	"repro/internal/parcopy"
 	"repro/internal/sreedhar"
@@ -39,7 +40,19 @@ type Scratch struct {
 	// destination check without a per-instruction map.
 	stamp []uint32
 	epoch uint32
+
+	// memoVars snapshots the input's variable identities across a memo
+	// materialization (MemoEntry.Materialize), so memo hits on the batch
+	// hot path stay allocation-free in steady state.
+	memoVars []ir.Var
 }
+
+// MemoVarBuf returns the scratch's materialization buffer; the caller must
+// store the possibly-grown buffer back with SetMemoVarBuf.
+func (sc *Scratch) MemoVarBuf() []ir.Var { return sc.memoVars }
+
+// SetMemoVarBuf stores the materialization buffer back after use.
+func (sc *Scratch) SetMemoVarBuf(buf []ir.Var) { sc.memoVars = buf }
 
 // NewScratch returns an empty scratch for explicit reuse across
 // translations.

@@ -1,0 +1,173 @@
+package ir
+
+// Def-use patch repair: instead of rebuilding the whole index after a local
+// edit, RepairBlocks re-derives exactly the entries attributable to the
+// touched blocks. The membership index byBlock records, per block, every
+// variable with an entry recorded at that block — definitions (φ and body),
+// body uses, and φ uses of successor φ-functions (which the index records
+// at the predecessor with Slot=PhiUseSlot) — so the purge phase knows which
+// use lists to edit without scanning all of them.
+
+// duRepair is the opt-in repair state of a DefUse index.
+type duRepair struct {
+	// byBlock[b] lists the variables with at least one index entry recorded
+	// at block b. May contain duplicates; purge is idempotent.
+	byBlock [][]VarID
+	inR     []bool  // region membership scratch
+	region  []int32 // region block list scratch
+}
+
+// EnableRepair builds the per-block membership index that RepairBlocks
+// needs. Call it right after NewDefUse; an index built for one function
+// snapshot repairs any sequence of later block-attributed edits as long as
+// the block/edge structure is unchanged.
+func (du *DefUse) EnableRepair() {
+	n := len(du.f.Blocks)
+	r := &duRepair{
+		byBlock: make([][]VarID, n),
+		inR:     make([]bool, n),
+	}
+	for _, b := range du.f.Blocks {
+		for _, in := range b.Phis {
+			r.byBlock[b.ID] = append(r.byBlock[b.ID], in.Defs[0])
+			for pi, u := range in.Uses {
+				p := b.Preds[pi].ID
+				r.byBlock[p] = append(r.byBlock[p], u)
+			}
+		}
+		for _, in := range b.Instrs {
+			r.byBlock[b.ID] = append(r.byBlock[b.ID], in.Defs...)
+			r.byBlock[b.ID] = append(r.byBlock[b.ID], in.Uses...)
+		}
+	}
+	du.rep = r
+}
+
+// Repairable reports whether EnableRepair ran on this index.
+func (du *DefUse) Repairable() bool { return du.rep != nil }
+
+// RepairBlocks patches the index after instruction-level edits confined to
+// the given blocks (ir.Func.MarkBlockMutated's dirty set). The block/edge
+// structure must be unchanged since EnableRepair. Cost is proportional to
+// the edited blocks and their predecessors, not the function.
+//
+// The repair region is dirty ∪ preds(dirty): editing a block's φ-functions
+// invalidates use entries the index recorded at the predecessors
+// (Slot=PhiUseSlot), so those blocks' entries are purged and re-derived
+// too. Entries recorded at blocks outside the region are untouched — and
+// provably unchanged, since every entry is attributed to exactly one block.
+func (du *DefUse) RepairBlocks(dirty []int32) {
+	r := du.rep
+	if r == nil {
+		panic("ir: RepairBlocks on a DefUse without EnableRepair")
+	}
+	f := du.f
+	if len(r.byBlock) != len(f.Blocks) {
+		panic("ir: RepairBlocks after a CFG change")
+	}
+	du.grow()
+
+	// Region = dirty ∪ preds(dirty), deduplicated.
+	region := r.region[:0]
+	for _, b := range dirty {
+		if !r.inR[b] {
+			r.inR[b] = true
+			region = append(region, b)
+		}
+		for _, p := range f.Blocks[b].Preds {
+			if !r.inR[p.ID] {
+				r.inR[p.ID] = true
+				region = append(region, int32(p.ID))
+			}
+		}
+	}
+
+	// Purge: drop every entry recorded at a region block.
+	for _, x := range region {
+		for _, v := range r.byBlock[x] {
+			du.purgeAt(v, x)
+		}
+		r.byBlock[x] = r.byBlock[x][:0]
+	}
+
+	// Re-derive the region's entries from the current IR.
+	for _, x := range region {
+		b := f.Blocks[x]
+		for _, in := range b.Phis {
+			du.repairDef(in.Defs[0], int(x), 0, in)
+			r.byBlock[x] = append(r.byBlock[x], in.Defs[0])
+		}
+		for i, in := range b.Instrs {
+			slot := SlotOfInstr(i)
+			for _, d := range in.Defs {
+				du.repairDef(d, int(x), slot, in)
+				r.byBlock[x] = append(r.byBlock[x], d)
+			}
+			for _, u := range in.Uses {
+				du.AddUse(u, int(x), slot, in)
+				r.byBlock[x] = append(r.byBlock[x], u)
+			}
+		}
+		// φ uses of successor φ-functions are recorded here, at x. A
+		// successor reached by two edges out of x contributes one entry per
+		// edge, matching NewDefUse; dedup the successor itself so its φs are
+		// not scanned twice per distinct target.
+		for si, s := range b.Succs {
+			seen := false
+			for _, t := range b.Succs[:si] {
+				if t == s {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+			for _, in := range s.Phis {
+				for pi, p := range s.Preds {
+					if p == b {
+						du.AddUse(in.Uses[pi], int(x), PhiUseSlot, in)
+						r.byBlock[x] = append(r.byBlock[x], in.Uses[pi])
+					}
+				}
+			}
+		}
+	}
+
+	for _, x := range region {
+		r.inR[x] = false
+	}
+	r.region = region[:0]
+}
+
+// purgeAt removes every use of v recorded at block x and clears v's
+// definition if it was recorded there. PhiUseSlot sorts last within a
+// block, so the contiguous run starting at the block's lower bound covers
+// φ-edge entries too.
+func (du *DefUse) purgeAt(v VarID, x int32) {
+	us := du.uses[v]
+	lo := du.searchUse(v, x, 0)
+	hi := lo
+	for hi < len(us) && us[hi].Block == x {
+		hi++
+	}
+	if hi > lo {
+		du.uses[v] = append(us[:lo], us[hi:]...)
+	}
+	if du.defBlock[v] == x {
+		du.defBlock[v] = -1
+		du.defSlot[v] = 0
+		du.defInstr[v] = nil
+	}
+}
+
+// repairDef records a definition during re-derivation; a pre-existing
+// definition (outside the purged region) means the edit broke SSA form.
+func (du *DefUse) repairDef(v VarID, block int, slot int32, in *Instr) {
+	if du.defBlock[v] >= 0 {
+		panic("ir: variable " + du.f.VarName(v) + " defined twice (not SSA)")
+	}
+	du.defBlock[v] = int32(block)
+	du.defSlot[v] = slot
+	du.defInstr[v] = in
+}

@@ -86,7 +86,17 @@ type Info struct {
 	// reference engine reports passes × blocks. Diagnostics — the property
 	// tests assert it stays bounded.
 	Pops int
+
+	// rep, when non-nil, is the retained state of an incremental
+	// computation (ComputeIncremental): private transfer sets, the seed
+	// order, and direct access to the backend storage, everything Repair
+	// needs to patch the solution after a local edit.
+	rep *repairState
 }
+
+// Repairable reports whether this Info was computed incrementally and can
+// be patched by Repair.
+func (l *Info) Repairable() bool { return l.rep != nil }
 
 // Scratch holds the reusable working state of one liveness run: the
 // per-block upward-exposed/def/φ-edge sets, the worklist, the seed order,
@@ -115,6 +125,14 @@ func (sc *Scratch) prepare(n, nv int) (ue, df, po []*bitset.Set) {
 	for _, s := range sc.sets[:3*n] {
 		s.Reset(nv) // exact capacity: it propagates into the result sets
 	}
+	sc.prepareWork(n)
+	return sc.sets[:n], sc.sets[n : 2*n], sc.sets[2*n : 3*n]
+}
+
+// prepareWork sizes and clears only the order/worklist/visit buffers — the
+// part of prepare the incremental path reuses when the transfer sets live
+// in retained, caller-owned storage instead of the scratch.
+func (sc *Scratch) prepareWork(n int) {
 	if cap(sc.order) < n {
 		sc.order = make([]int32, 0, n)
 		sc.work = make([]int32, 0, n)
@@ -132,7 +150,6 @@ func (sc *Scratch) prepare(n, nv int) (ue, df, po []*bitset.Set) {
 		sc.visits[i] = 0
 		sc.dfsNext[i] = 0
 	}
-	return sc.sets[:n], sc.sets[n : 2*n], sc.sets[2*n : 3*n]
 }
 
 // Compute runs the analysis on f with bit-set storage.
@@ -255,7 +272,7 @@ func seedOrder(f *ir.Func, sc *Scratch) {
 // sets are carved out of one batch backing (two allocations for all 2n
 // sets) and the interface wrappers live in one slice, so constructing the
 // result costs a constant number of allocations.
-func computeBitsets(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Set) {
+func computeBitsets(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Set) []bitset.Set {
 	n := len(f.Blocks)
 	nv := len(f.Vars)
 	sets := bitset.NewBatch(nv, 2*n) // [0,n) live-in, [n,2n) live-out
@@ -276,13 +293,14 @@ func computeBitsets(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Se
 		}
 		return sets[b].UnionWithAndNot(out, df[b])
 	})
+	return sets
 }
 
 // computeOrdered runs the same worklist with sorted-slice storage. The
 // static ue/φ-edge contributions are snapshotted once as sorted slices so
 // the per-visit transfers are linear merges. Like the bit-set backend, the
 // Ordered headers and interface wrappers come from two batch slices.
-func computeOrdered(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Set) {
+func computeOrdered(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Set) []bitset.Ordered {
 	n := len(f.Blocks)
 	sets := make([]bitset.Ordered, 2*n) // [0,n) live-in, [n,2n) live-out
 	wrap := make([]ordSet, 2*n)
@@ -305,6 +323,7 @@ func computeOrdered(f *ir.Func, info *Info, sc *Scratch, ue, df, po []*bitset.Se
 		}
 		return sets[b].UnionWithAndNot(out, df[b])
 	})
+	return sets
 }
 
 // appendElems appends the elements of s to dst in increasing order (ForEach

@@ -1,0 +1,257 @@
+// Incremental liveness repair: patch a previously computed solution after
+// instruction-level edits confined to a known set of blocks, in time
+// proportional to the edit's backward influence cone instead of the
+// function.
+//
+// A stale solution cannot simply be re-iterated: the worklist fixpoint only
+// grows sets, and a deleted use can leave liveness that cyclically supports
+// itself around a loop — a fixpoint, but not the least one. Repair instead
+// (1) rebuilds the transfer functions of every block whose transfer could
+// have changed — the dirty blocks (ue/df) and their predecessors (φ-edge
+// contributions po), (2) closes that set backward over predecessor edges
+// (the only direction liveness propagates), (3) resets every block in the
+// cone to its base contribution in = ue, out = po, and (4) re-runs the
+// monotone grow worklist inside the cone, pulling intact boundary values
+// from the live-ins of non-cone successors. Blocks outside the cone kept
+// their least-fixpoint values, so the result equals a from-scratch
+// computation.
+package liveness
+
+import (
+	"repro/internal/bitset"
+	"repro/internal/ir"
+)
+
+// repairState is what an incremental computation retains beyond the result
+// sets: privately owned transfer vectors (the pooled scratch's would be
+// clobbered by the next computation), the reverse-postorder seed, and the
+// raw backend storage of the result sets.
+type repairState struct {
+	be Backend
+	nv int // variable-universe size the transfers were built at
+
+	ue, df, po []*bitset.Set // retained transfer sets, one batch backing
+	order      []int32       // reverse-postorder seed (valid while CFG unchanged)
+
+	bsets []bitset.Set     // Bitsets backend: [0,n) live-in, [n,2n) live-out
+	osets []bitset.Ordered // OrderedSets backend: same layout
+
+	affected []bool  // repair scratch: cone membership
+	cone     []int32 // repair scratch: cone block list
+	buf      []int32 // repair scratch: ordered-set seeding
+}
+
+// ComputeIncremental is ComputeWith, retaining the repair state on the
+// returned Info so later local edits can be patched with Repair instead of
+// recomputed. It costs one extra transfer-set batch per call; use it for
+// long-lived analyses (editing sessions), not one-shot translations.
+func ComputeIncremental(f *ir.Func, be Backend) *Info {
+	sc := scratchPool.Get().(*Scratch)
+	defer scratchPool.Put(sc)
+	return ComputeIncrementalInto(f, be, sc)
+}
+
+// ComputeIncrementalInto is ComputeIncremental with a caller-owned Scratch.
+// The scratch only hosts the worklist working state; the transfer sets are
+// freshly allocated and owned by the returned Info.
+func ComputeIncrementalInto(f *ir.Func, be Backend, sc *Scratch) *Info {
+	n := len(f.Blocks)
+	nv := len(f.Vars)
+	info := &Info{
+		f:       f,
+		liveIn:  make([]VarSet, n),
+		liveOut: make([]VarSet, n),
+	}
+	if n == 0 {
+		return info
+	}
+	rep := &repairState{be: be, nv: nv}
+	batch := bitset.NewBatch(nv, 3*n)
+	rep.ue = make([]*bitset.Set, 3*n)
+	for i := range batch {
+		rep.ue[i] = &batch[i]
+	}
+	rep.ue, rep.df, rep.po = rep.ue[:n], rep.ue[n:2*n], rep.ue[2*n:3*n]
+	buildTransfer(f, rep.ue, rep.df, rep.po)
+	sc.prepareWork(n)
+	seedOrder(f, sc)
+	rep.order = append(rep.order, sc.order...)
+
+	if be == OrderedSets {
+		rep.osets = computeOrdered(f, info, sc, rep.ue, rep.df, rep.po)
+	} else {
+		rep.bsets = computeBitsets(f, info, sc, rep.ue, rep.df, rep.po)
+	}
+	info.rep = rep
+	return info
+}
+
+// Repair patches info — which must come from ComputeIncremental on the same
+// function — after instruction-level edits confined to the dirty blocks.
+// The block/edge structure must be unchanged since the computation; the
+// variable universe may have grown (sets resize on demand, and any block
+// where a new variable is live lies inside the repair cone by
+// construction). The patched solution is exactly the least fixpoint a
+// from-scratch computation would produce.
+func Repair(f *ir.Func, info *Info, dirty []int32) {
+	rep := info.rep
+	if rep == nil {
+		panic("liveness: Repair on an Info without retained state (use ComputeIncremental)")
+	}
+	n := len(f.Blocks)
+	if n != len(info.liveIn) {
+		panic("liveness: Repair after a CFG change")
+	}
+	if len(dirty) == 0 {
+		return
+	}
+	nv := len(f.Vars)
+	if len(rep.affected) < n {
+		rep.affected = make([]bool, n)
+	}
+
+	// 1. Re-derive the transfers that could have changed: ue/df of dirty
+	// blocks, po of their predecessors. Re-deriving po of a dirty block
+	// itself is harmless (idempotent), so the changed set C is simply
+	// dirty ∪ preds(dirty) with all three vectors rebuilt per member.
+	cone := rep.cone[:0]
+	for _, b := range dirty {
+		if !rep.affected[b] {
+			rep.affected[b] = true
+			cone = append(cone, b)
+		}
+		for _, p := range f.Blocks[b].Preds {
+			if !rep.affected[p.ID] {
+				rep.affected[p.ID] = true
+				cone = append(cone, int32(p.ID))
+			}
+		}
+	}
+	for _, x := range cone {
+		rep.rebuildTransfer(f, int(x), nv)
+	}
+
+	// 2. Backward closure over predecessor edges: the influence cone.
+	for i := 0; i < len(cone); i++ {
+		for _, p := range f.Blocks[cone[i]].Preds {
+			if !rep.affected[p.ID] {
+				rep.affected[p.ID] = true
+				cone = append(cone, int32(p.ID))
+			}
+		}
+	}
+
+	// 3. Reset every cone block to its base contribution, then 4. grow to
+	// fixpoint inside the cone. Non-cone successors contribute their intact
+	// least-fixpoint live-ins at the boundary.
+	var visit func(b int) bool
+	if rep.be == OrderedSets {
+		for _, x := range cone {
+			rep.buf = appendElems(rep.buf[:0], rep.ue[x])
+			in := &rep.osets[x]
+			in.Clear()
+			in.UnionSorted(rep.buf)
+			rep.buf = appendElems(rep.buf[:0], rep.po[x])
+			out := &rep.osets[n+int(x)]
+			out.Clear()
+			out.UnionSorted(rep.buf)
+		}
+		visit = func(b int) bool {
+			out := &rep.osets[n+b]
+			for _, s := range f.Blocks[b].Succs {
+				out.UnionWith(&rep.osets[s.ID])
+			}
+			return rep.osets[b].UnionWithAndNot(out, rep.df[b])
+		}
+	} else {
+		for _, x := range cone {
+			in := &rep.bsets[x]
+			in.Reset(nv)
+			in.UnionWith(rep.ue[x])
+			out := &rep.bsets[n+int(x)]
+			out.Reset(nv)
+			out.UnionWith(rep.po[x])
+		}
+		visit = func(b int) bool {
+			out := &rep.bsets[n+b]
+			for _, s := range f.Blocks[b].Succs {
+				out.UnionWith(&rep.bsets[s.ID])
+			}
+			return rep.bsets[b].UnionWithAndNot(out, rep.df[b])
+		}
+	}
+	rep.runConeWorklist(f, info, visit)
+
+	for _, x := range cone {
+		rep.affected[x] = false
+	}
+	rep.cone = cone[:0]
+	rep.nv = nv
+}
+
+// rebuildTransfer re-derives block x's ue/df (from its φs and body) and po
+// (from its successors' φs) from the current IR.
+func (rep *repairState) rebuildTransfer(f *ir.Func, x, nv int) {
+	b := f.Blocks[x]
+	ue, df, po := rep.ue[x], rep.df[x], rep.po[x]
+	ue.Reset(nv)
+	df.Reset(nv)
+	po.Reset(nv)
+	for _, in := range b.Phis {
+		df.Add(int(in.Defs[0]))
+	}
+	for _, in := range b.Instrs {
+		for _, u := range in.Uses {
+			if !df.Has(int(u)) {
+				ue.Add(int(u))
+			}
+		}
+		for _, d := range in.Defs {
+			df.Add(int(d))
+		}
+	}
+	for _, s := range b.Succs {
+		for _, in := range s.Phis {
+			for pi, p := range s.Preds {
+				if p == b {
+					po.Add(int(in.Uses[pi]))
+				}
+			}
+		}
+	}
+}
+
+// runConeWorklist is runWorklist restricted to the repair cone: the seed is
+// the retained reverse postorder filtered by cone membership, and growth
+// only ever pushes predecessors of cone blocks — which are in the cone by
+// construction (it is closed under predecessors). The shared onList marks
+// double as the queue filter.
+func (rep *repairState) runConeWorklist(f *ir.Func, info *Info, visit func(b int) bool) {
+	work := rep.buf[:0] // borrow; ordered seeding is done by now
+	onList := rep.affected
+	// affected[b] is true exactly for cone blocks; reuse it as onList so
+	// the initial queue is the cone in reverse postorder.
+	for _, b := range rep.order {
+		if onList[b] {
+			work = append(work, b)
+		}
+	}
+	for len(work) > 0 {
+		b := int(work[len(work)-1])
+		work = work[:len(work)-1]
+		if !onList[b] {
+			continue
+		}
+		onList[b] = false
+		info.Pops++
+		if visit(b) {
+			for _, p := range f.Blocks[b].Preds {
+				if !onList[p.ID] {
+					onList[p.ID] = true
+					work = append(work, int32(p.ID))
+				}
+			}
+		}
+	}
+	rep.buf = work[:0]
+}

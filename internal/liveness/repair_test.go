@@ -1,0 +1,95 @@
+package liveness_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cfggen"
+	"repro/internal/ir"
+	"repro/internal/liveness"
+)
+
+// mutateBlock applies one random instruction-level edit to a random block
+// of f and returns that block's ID. Edits either add a use of an existing
+// variable (extends liveness upward) or define a fresh variable and print
+// it (grows the universe) — both confined to the block, so Repair's
+// dirty-set contract holds.
+func mutateBlock(f *ir.Func, rng *rand.Rand) int32 {
+	b := f.Blocks[rng.Intn(len(f.Blocks))]
+	n := len(b.Instrs)
+	switch rng.Intn(3) {
+	case 0: // new upward-exposed use
+		v := ir.VarID(rng.Intn(len(f.Vars)))
+		b.Instrs = append(b.Instrs[:n-1],
+			&ir.Instr{Op: ir.OpPrint, Uses: []ir.VarID{v}},
+			b.Instrs[n-1])
+	case 1: // fresh def + local use: universe growth inside the cone
+		src := ir.VarID(rng.Intn(len(f.Vars)))
+		v := f.NewVar("")
+		b.Instrs = append(b.Instrs[:n-1],
+			&ir.Instr{Op: ir.OpCopy, Defs: []ir.VarID{v}, Uses: []ir.VarID{src}},
+			b.Instrs[n-1])
+	case 2: // remove a removable use: shrinks liveness, the case a stale
+		// fixpoint cannot recover from by re-iteration
+		for i := n - 2; i >= 0; i-- {
+			if b.Instrs[i].Op == ir.OpPrint {
+				b.Instrs = append(b.Instrs[:i], b.Instrs[i+1:]...)
+				break
+			}
+		}
+	}
+	f.MarkBlockMutated(b)
+	return int32(b.ID)
+}
+
+func checkAgainstReference(t *testing.T, f *ir.Func, got *liveness.Info, be liveness.Backend, tag string) {
+	t.Helper()
+	want := liveness.ComputeReference(f, be)
+	for _, b := range f.Blocks {
+		for v := range f.Vars {
+			vid := ir.VarID(v)
+			if got.LiveInBlock(vid, b.ID) != want.LiveInBlock(vid, b.ID) {
+				t.Fatalf("%s: live-in(%s, %s) = %v, reference says %v",
+					tag, f.VarName(vid), b.Name, got.LiveInBlock(vid, b.ID), want.LiveInBlock(vid, b.ID))
+			}
+			if got.LiveOutBlock(vid, b.ID) != want.LiveOutBlock(vid, b.ID) {
+				t.Fatalf("%s: live-out(%s, %s) = %v, reference says %v",
+					tag, f.VarName(vid), b.Name, got.LiveOutBlock(vid, b.ID), want.LiveOutBlock(vid, b.ID))
+			}
+		}
+	}
+}
+
+// TestRepairMatchesReference drives random edit/repair sequences on the
+// known loop and on generated functions and demands the patched solution
+// equal a from-scratch reference computation after every single step, on
+// both backends. The deleted-use edit (case 2 of mutateBlock) is the one
+// that distinguishes true repair from re-iterating a stale fixpoint.
+func TestRepairMatchesReference(t *testing.T) {
+	var corpus []*ir.Func
+	corpus = append(corpus, ir.MustParse(loopSrc))
+	p := cfggen.DefaultProfile("repair", 7)
+	p.Funcs = 4
+	corpus = append(corpus, cfggen.Generate(p)...)
+
+	for _, be := range []liveness.Backend{liveness.Bitsets, liveness.OrderedSets} {
+		for fi, tmpl := range corpus {
+			f := ir.Clone(tmpl)
+			info := liveness.ComputeIncremental(f, be)
+			if !info.Repairable() {
+				t.Fatal("ComputeIncremental returned an unrepairable Info")
+			}
+			rng := rand.New(rand.NewSource(int64(100*fi) + int64(be)))
+			for step := 0; step < 25; step++ {
+				dirty := []int32{mutateBlock(f, rng)}
+				if rng.Intn(2) == 0 { // batched edits repair in one call too
+					dirty = append(dirty, mutateBlock(f, rng))
+				}
+				liveness.Repair(f, info, dirty)
+				checkAgainstReference(t, f, info, be,
+					fmt.Sprintf("backend %d func %s step %d", be, f.Name, step))
+			}
+		}
+	}
+}

@@ -58,11 +58,38 @@ func VerifySSA() Pass {
 // individual passes sharing one core.Translation: copy insertion, the
 // interference analyses, coalescing, and the CSSA-leaving rewrite. The
 // final pass publishes the translation statistics on the context.
-func OutOfSSA(opt core.Options) []Pass {
+func OutOfSSA(opt core.Options) []Pass { return OutOfSSAWithMemo(opt, nil) }
+
+// OutOfSSAWithMemo is OutOfSSA backed by a shared translation memo. The
+// insert pass fingerprints the still-unmutated input and looks it up; on a
+// hit the stored output is materialized (zero-alloc CloneInto plus the
+// input's variable identities) and the remaining phases no-op. On a miss
+// the rewrite pass stores the finished translation. A nil memo degrades to
+// the plain pipeline.
+func OutOfSSAWithMemo(opt core.Options, memo *core.Memo) []Pass {
 	return []Pass{
 		{
 			Name: "out-of-ssa-insert",
 			Run: func(ctx *Context) error {
+				if memo != nil {
+					ctx.Memo = memo
+					ctx.MemoChecked = true
+					ctx.memoKey = core.MemoKeyFor(ctx.Func, opt)
+					ctx.memoInVars = len(ctx.Func.Vars)
+					if e := memo.Lookup(ctx.memoKey); e != nil {
+						var buf []ir.Var
+						if ctx.Scratch != nil {
+							buf = ctx.Scratch.MemoVarBuf()
+						}
+						st, buf := e.Materialize(ctx.Func, buf)
+						if ctx.Scratch != nil {
+							ctx.Scratch.SetMemoVarBuf(buf)
+						}
+						ctx.MemoHit = true
+						ctx.Stats = st
+						return nil
+					}
+				}
 				t, err := core.NewTranslation(ctx.Func, opt, ctx.Cache)
 				if err != nil {
 					return err
@@ -76,11 +103,21 @@ func OutOfSSA(opt core.Options) []Pass {
 		},
 		{
 			Name: "out-of-ssa-analyze",
-			Run:  func(ctx *Context) error { return ctx.Translation.Analyze() },
+			Run: func(ctx *Context) error {
+				if ctx.MemoHit {
+					return nil
+				}
+				return ctx.Translation.Analyze()
+			},
 		},
 		{
 			Name: "out-of-ssa-coalesce",
-			Run:  func(ctx *Context) error { return ctx.Translation.Coalesce() },
+			Run: func(ctx *Context) error {
+				if ctx.MemoHit {
+					return nil
+				}
+				return ctx.Translation.Coalesce()
+			},
 			// The virtualized coalescer materializes copies but maintains
 			// the def-use index as it goes (the phase also revalidates it
 			// itself, for callers driving core.Translation directly).
@@ -89,10 +126,16 @@ func OutOfSSA(opt core.Options) []Pass {
 		{
 			Name: "out-of-ssa-rewrite",
 			Run: func(ctx *Context) error {
+				if ctx.MemoHit {
+					return nil
+				}
 				if err := ctx.Translation.Rewrite(); err != nil {
 					return err
 				}
 				ctx.Stats = ctx.Translation.Stats
+				if memo != nil {
+					memo.Store(ctx.memoKey, ctx.Func, ctx.memoInVars, ctx.Stats, ctx.Translation.CoalesceResult().Statuses)
+				}
 				return nil
 			},
 		},

@@ -64,6 +64,19 @@ type Context struct {
 	// package pool for its own duration.
 	Scratch *core.Scratch
 
+	// Memo, when non-nil, is the shared translation memo the out-of-SSA
+	// passes consult (see OutOfSSAWithMemo): the insert pass looks the
+	// input's fingerprint up before mutating anything and, on a hit,
+	// materializes the stored output instead of translating; the rewrite
+	// pass stores fresh results. The store is safe to share across batch
+	// workers and across requests.
+	Memo *core.Memo
+	// MemoChecked and MemoHit report what the memo did for this run: the
+	// lookup happened, and it short-circuited the translation.
+	MemoChecked, MemoHit bool
+	memoKey              core.MemoKey
+	memoInVars           int
+
 	// Translation is the in-flight out-of-SSA translation, created by the
 	// insert pass and consumed by the analyze/coalesce/rewrite passes.
 	Translation *core.Translation

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/cfggen"
+	"repro/internal/core"
 	"repro/internal/pipeline"
 )
 
@@ -44,6 +45,7 @@ type Translator struct {
 	pool    []string
 	verify  bool
 	extra   []extraPass
+	memo    *core.Memo
 }
 
 type extraPass struct {
@@ -82,7 +84,7 @@ func (t *Translator) pipeline() *pipeline.Pipeline {
 	if t.verify {
 		passes = append(passes, pipeline.VerifySSA())
 	}
-	passes = append(passes, pipeline.OutOfSSA(t.opt)...)
+	passes = append(passes, pipeline.OutOfSSAWithMemo(t.opt, t.memo)...)
 	for _, ep := range t.extra {
 		run := ep.run
 		passes = append(passes, pipeline.Pass{
@@ -133,17 +135,30 @@ type Result struct {
 }
 
 // CacheStats counts analysis-cache requests over one or more translations:
-// Hits were served from the per-function cache, Misses (re)computed. The
-// zero value is ready to use; Add folds another value in.
+// Hits were served from the per-function cache, Misses (re)computed,
+// Repairs patched in place from the dirty-block log (incremental mode).
+// MemoHits/MemoMisses count translation-memo lookups (WithMemo) — a memo
+// hit replaces the whole pipeline, so its run contributes no analysis
+// hits or misses. The zero value is ready to use; Add folds another value
+// in.
 type CacheStats struct {
 	Hits   uint64
 	Misses uint64
+	// Repairs counts stale analyses brought current by dirty-set patching
+	// instead of recomputation.
+	Repairs uint64
+	// MemoHits and MemoMisses count translation-memo lookups.
+	MemoHits   uint64
+	MemoMisses uint64
 }
 
 // Add folds st into c.
 func (c *CacheStats) Add(st CacheStats) {
 	c.Hits += st.Hits
 	c.Misses += st.Misses
+	c.Repairs += st.Repairs
+	c.MemoHits += st.MemoHits
+	c.MemoMisses += st.MemoMisses
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 when nothing was requested.
@@ -152,6 +167,15 @@ func (c CacheStats) HitRate() float64 {
 		return 0
 	}
 	return float64(c.Hits) / float64(c.Hits+c.Misses)
+}
+
+// MemoHitRate returns MemoHits / (MemoHits + MemoMisses), or 0 when no
+// memo was attached.
+func (c CacheStats) MemoHitRate() float64 {
+	if c.MemoHits+c.MemoMisses == 0 {
+		return 0
+	}
+	return float64(c.MemoHits) / float64(c.MemoHits+c.MemoMisses)
 }
 
 // resultOf folds a pipeline outcome into the public Result shape.
@@ -170,6 +194,16 @@ func resultOf(f *Func, pctx *pipeline.Context, err error) Result {
 			}
 			for _, m := range pctx.Cache.Misses {
 				r.Cache.Misses += m
+			}
+			for _, rp := range pctx.Cache.Repairs {
+				r.Cache.Repairs += rp
+			}
+		}
+		if pctx.MemoChecked {
+			if pctx.MemoHit {
+				r.Cache.MemoHits++
+			} else {
+				r.Cache.MemoMisses++
 			}
 		}
 	}

@@ -1,0 +1,92 @@
+package serve_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/outofssa"
+	"repro/outofssa/serve"
+)
+
+// TestServerMemoHit: repeating a request against the server's built-in
+// memo marks the repeat as served from the store, with identical output,
+// and the /v1/stats memo section reflects the traffic.
+func TestServerMemoHit(t *testing.T) {
+	_, cl := startServer(t, serve.Config{})
+	src := corpus(t, 1, 0)
+	ctx := context.Background()
+
+	first, err := cl.Translate(ctx, serve.TranslateRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.MemoHit {
+		t.Fatal("first request hit an empty memo")
+	}
+	second, err := cl.Translate(ctx, serve.TranslateRequest{Source: src})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.MemoHit {
+		t.Fatal("repeated request missed the server memo")
+	}
+	// Memoized output must parse and carry no φs, like any translation.
+	if second.Output == "" {
+		t.Fatal("memo hit returned empty output")
+	}
+	if _, err := outofssa.ParseAll(second.Output); err != nil {
+		t.Fatalf("memoized output does not re-parse: %v", err)
+	}
+
+	// Different machinery must not share entries: the same source under
+	// another strategy is a miss.
+	other, err := cl.Translate(ctx, serve.TranslateRequest{Source: src, Strategy: "sreedhar3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if other.MemoHit {
+		t.Fatal("memo served a translation recorded under different options")
+	}
+
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Memo == nil {
+		t.Fatal("stats response has no memo section although the memo is on")
+	}
+	if st.Memo.Hits != 1 || st.Memo.Misses != 2 {
+		t.Fatalf("memo stats hits=%d misses=%d, want 1 and 2", st.Memo.Hits, st.Memo.Misses)
+	}
+	if st.Memo.Entries != 2 || st.Memo.Bytes <= 0 {
+		t.Fatalf("memo retention: %+v", st.Memo)
+	}
+	if want := 1.0 / 3.0; st.Memo.HitRate != want {
+		t.Fatalf("memo hit rate %v, want %v", st.Memo.HitRate, want)
+	}
+}
+
+// TestServerMemoDisabled: MemoEntries < 0 turns the memo off — repeats
+// translate from scratch and /v1/stats carries no memo section.
+func TestServerMemoDisabled(t *testing.T) {
+	_, cl := startServer(t, serve.Config{MemoEntries: -1})
+	src := corpus(t, 1, 0)
+	ctx := context.Background()
+
+	for i := 0; i < 2; i++ {
+		resp, err := cl.Translate(ctx, serve.TranslateRequest{Source: src})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.MemoHit {
+			t.Fatalf("request %d hit although the memo is disabled", i)
+		}
+	}
+	st, err := cl.Stats(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Memo != nil {
+		t.Fatalf("disabled memo still reports a stats section: %+v", st.Memo)
+	}
+}

@@ -59,6 +59,14 @@ type Config struct {
 	BatchWorkers int
 	// MaxRequestBytes caps request bodies; <= 0 selects 16 MiB.
 	MaxRequestBytes int64
+	// MemoEntries bounds the server's shared translation memo (structurally
+	// identical inputs translate once; see outofssa.NewMemo). 0 selects the
+	// memo default (4096 entries); negative disables memoization entirely.
+	MemoEntries int
+	// MemoBytes bounds the memo's retained output bytes (approximate); 0
+	// selects the memo default (256 MiB). Ignored when MemoEntries is
+	// negative.
+	MemoBytes int64
 }
 
 func (c Config) withDefaults() Config {
@@ -94,6 +102,12 @@ type Server struct {
 	start    time.Time
 	draining atomic.Bool
 
+	// memo is the server-wide translation memo, shared by every request's
+	// translator (nil when Config.MemoEntries is negative). Entries are keyed
+	// by fingerprint + machinery options, so requests with different
+	// strategies or toggles never observe each other's results.
+	memo *outofssa.Memo
+
 	// holdForTest, when non-nil, blocks every admitted request until the
 	// channel is closed — the backpressure tests use it to pin the
 	// in-flight slots deterministically.
@@ -104,6 +118,9 @@ type Server struct {
 func New(cfg Config) *Server {
 	s := &Server{cfg: cfg.withDefaults(), start: time.Now()}
 	s.gate = newGate(s.cfg.MaxInFlight, s.cfg.MaxQueue)
+	if s.cfg.MemoEntries >= 0 {
+		s.memo = outofssa.NewMemo(s.cfg.MemoEntries, s.cfg.MemoBytes)
+	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/translate", s.handleTranslate)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
@@ -193,6 +210,7 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 		CleanedBlocks: res.CleanedBlocks,
 		CacheHits:     res.Cache.Hits,
 		CacheMisses:   res.Cache.Misses,
+		MemoHit:       res.Cache.MemoHits > 0,
 		ElapsedMicros: float64(time.Since(start).Nanoseconds()) / 1e3,
 	}
 	if res.Alloc != nil {
@@ -341,6 +359,9 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (TranslateReque
 	var extra []outofssa.Option
 	if s.cfg.BatchWorkers > 0 {
 		extra = append(extra, outofssa.WithWorkers(s.cfg.BatchWorkers))
+	}
+	if s.memo != nil {
+		extra = append(extra, outofssa.WithMemo(s.memo))
 	}
 	tr, err := req.translator(extra...)
 	if err != nil {

@@ -106,12 +106,20 @@ type StatsResponse struct {
 		Rewrite  int64 `json:"rewrite"`
 	} `json:"phase_nanos"`
 
-	// Cache is the aggregate analysis-cache behaviour.
+	// Cache is the aggregate analysis-cache behaviour. Repairs counts stale
+	// analyses brought current by incremental dirty-set patching instead of
+	// recomputation.
 	Cache struct {
 		Hits    uint64  `json:"hits"`
 		Misses  uint64  `json:"misses"`
 		HitRate float64 `json:"hit_rate"`
+		Repairs uint64  `json:"repairs"`
 	} `json:"cache"`
+
+	// Memo is the server-wide translation memo: lookups folded from every
+	// translated function, plus the live store's retained size. Omitted when
+	// the server was configured with memoization disabled.
+	Memo *MemoSection `json:"memo,omitempty"`
 
 	// Latency is the server-side request latency distribution (admitted
 	// requests, admission wait included — what a client experiences once
@@ -124,6 +132,19 @@ type StatsResponse struct {
 		P99Micros  float64 `json:"p99_us"`
 		MaxMicros  float64 `json:"max_us"`
 	} `json:"latency"`
+}
+
+// MemoSection is the translation-memo block of StatsResponse. Hits, Misses
+// and HitRate are folded from per-function results (the same view a client
+// assembles from memo_hit flags); Entries, Bytes and Evictions come from
+// the live store.
+type MemoSection struct {
+	Hits      uint64  `json:"hits"`
+	Misses    uint64  `json:"misses"`
+	HitRate   float64 `json:"hit_rate"`
+	Entries   int     `json:"entries"`
+	Bytes     int64   `json:"bytes"`
+	Evictions uint64  `json:"evictions"`
 }
 
 // statsResponse assembles the scrape.
@@ -149,6 +170,18 @@ func (s *Server) statsResponse() *StatsResponse {
 	out.Cache.Hits = st.cache.Hits
 	out.Cache.Misses = st.cache.Misses
 	out.Cache.HitRate = st.cache.HitRate()
+	out.Cache.Repairs = st.cache.Repairs
+	if s.memo != nil {
+		ms := s.memo.Stats()
+		out.Memo = &MemoSection{
+			Hits:      st.cache.MemoHits,
+			Misses:    st.cache.MemoMisses,
+			HitRate:   st.cache.MemoHitRate(),
+			Entries:   ms.Entries,
+			Bytes:     ms.Bytes,
+			Evictions: ms.Evictions,
+		}
+	}
 	out.PhaseNanos.Insert = st.insertNs
 	out.PhaseNanos.Analyze = st.analyzeNs
 	out.PhaseNanos.Coalesce = st.coalesceNs

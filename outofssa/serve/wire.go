@@ -204,6 +204,10 @@ type TranslateResponse struct {
 	// behaviour.
 	CacheHits   uint64 `json:"cache_hits"`
 	CacheMisses uint64 `json:"cache_misses"`
+	// MemoHit reports that the whole translation was served from the
+	// server's translation memo (a structurally identical function was
+	// translated before with the same options).
+	MemoHit bool `json:"memo_hit,omitempty"`
 	// RegsUsed and Spills summarize the register allocation when the
 	// request enabled it.
 	RegsUsed int `json:"regs_used,omitempty"`

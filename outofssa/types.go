@@ -51,6 +51,10 @@ type (
 	PassError = pipeline.PassError
 	// Profile configures the synthetic workload generator.
 	Profile = cfggen.Profile
+	// NearDuplicateProfile configures the near-duplicate workload expansion
+	// (a base corpus plus structurally edited clones) that exercises the
+	// translation memo; see GenerateNearDuplicates.
+	NearDuplicateProfile = cfggen.NearDuplicateProfile
 )
 
 // The coalescing strategies, re-exported.
@@ -164,3 +168,12 @@ func Generate(p Profile) []*Func { return cfggen.Generate(p) }
 // GenerateRaw produces the pre-SSA form of the same workload: multiple
 // assignments, no φ-functions. Feed it to BuildSSA.
 func GenerateRaw(p Profile) []*Func { return cfggen.GenerateRaw(p) }
+
+// GenerateNearDuplicates produces the base corpus interleaved with K
+// near-duplicate clones per function (renamed-only, dead-copy, and
+// swapped-branch edits) — the compile-server workload shape a translation
+// memo (NewMemo/WithMemo) pays off on. Deterministic from the profile's
+// seeds.
+func GenerateNearDuplicates(p NearDuplicateProfile) []*Func {
+	return cfggen.GenerateNearDuplicates(p)
+}
