@@ -13,9 +13,14 @@
 // Clients are closed-loop: each issues requests back to back for the
 // point's duration, so offered load is the client count. 429 load-shed
 // responses are counted per point and backed off briefly; only successful
-// requests enter the latency quantiles. The emitted report is gated by
-// the bench package's smoke checks (completed requests, no hard failures,
-// coherent quantiles) — a violation exits 1.
+// requests enter the latency quantiles.
+//
+// The emitted report is the same envelope every trajectory produces —
+// run metadata (commit, machine shape, GOMAXPROCS, GOGC, timestamp) plus
+// one row per load point — written with -out, appended to the bench store
+// with -store, and gated by the serve trajectory's standing policies
+// (completed requests, no hard failures, coherent latency quantiles); a
+// violation exits 1.
 package main
 
 import (
@@ -27,7 +32,6 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -37,6 +41,8 @@ import (
 
 	"repro/outofssa"
 	"repro/outofssa/bench"
+	"repro/outofssa/bench/compare"
+	"repro/outofssa/bench/store"
 	"repro/outofssa/serve"
 	"repro/outofssa/serve/client"
 )
@@ -57,18 +63,23 @@ func main() {
 	inflight := flag.Int("inflight", 0, "self-hosted server: max in-flight requests (0 = GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "self-hosted server: admission queue depth (0 = sized to the largest load point)")
 	workers := flag.Int("workers", 0, "self-hosted server: batch workers per request (0 = GOMAXPROCS)")
-	out := flag.String("out", "", "also write the trajectory as JSON to this file")
+	out := flag.String("out", "", "write the report envelope as JSON to this file")
+	storeDir := flag.String("store", "", "append the envelope to this bench store directory")
+	commit := flag.String("commit", "", "commit id recorded in the envelope (default $SSABENCH_COMMIT)")
 	dup := flag.Bool("dup", false, "memoization trajectory: near-duplicate corpus, cold/warm batch passes + differential oracle locally, then daemon traffic with memo hit rate (writes a memo report, not a serve report)")
 	clones := flag.Int("clones", 3, "near-duplicate clones per base function in -dup mode")
 	reps := flag.Int("reps", 3, "best-of repetitions per timed batch pass in -dup mode")
 	flag.Parse()
-	if *dup {
-		os.Exit(runDup(*addr, *loads, *duration, *warmup, *funcs, *seed, *clones, *reps, *strategy, *inflight, *queue, *workers, *out))
+	if *commit != "" {
+		bench.Commit = *commit
 	}
-	os.Exit(run(*addr, *loads, *duration, *warmup, *funcs, *seed, *mode, *batch, *strategy, *inflight, *queue, *workers, *out))
+	if *dup {
+		os.Exit(runDup(*addr, *loads, *duration, *warmup, *funcs, *seed, *clones, *reps, *strategy, *inflight, *queue, *workers, *out, *storeDir))
+	}
+	os.Exit(run(*addr, *loads, *duration, *warmup, *funcs, *seed, *mode, *batch, *strategy, *inflight, *queue, *workers, *out, *storeDir))
 }
 
-func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed int64, mode string, batchN int, strategy string, inflight, queue, workers int, out string) int {
+func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed int64, mode string, batchN int, strategy string, inflight, queue, workers int, out, storeDir string) int {
 	if _, err := outofssa.ParseStrategy(strategy); err != nil {
 		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
 		return 2
@@ -94,25 +105,19 @@ func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed 
 		sources = regroup(sources, batchN)
 	}
 
-	rep := &bench.ServeReport{
-		Addr:        addr,
-		Mode:        mode,
-		Strategy:    strategy,
-		CorpusFuncs: funcs,
-		Workers:     workers,
-		InFlight:    inflight,
-		Cores:       runtime.GOMAXPROCS(0),
-	}
+	rep := bench.NewReport("serve", 1)
+	rep.Count = 1
+	rep.SetParam("mode", mode)
+	rep.SetParam("strategy", strategy)
+	rep.SetParam("corpus_funcs", strconv.Itoa(funcs))
 	if mode == "batch" {
-		rep.Batch = batchN
+		rep.SetParam("batch", strconv.Itoa(batchN))
 	}
 
 	if addr == "" {
-		maxLoad := loads[len(loads)-1]
+		maxLoad := loads[0]
 		for _, l := range loads {
-			if l > maxLoad {
-				maxLoad = l
-			}
+			maxLoad = max(maxLoad, l)
 		}
 		if queue == 0 {
 			// Size the queue to the sweep so the committed trajectory
@@ -130,11 +135,14 @@ func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed 
 		go hs.Serve(ln)
 		defer hs.Close()
 		addr = "http://" + ln.Addr().String()
-		rep.Addr = "self-hosted"
 		cfg := srv.Config()
-		rep.InFlight = cfg.MaxInFlight
-		rep.Workers = cfg.BatchWorkers
+		inflight, workers = cfg.MaxInFlight, cfg.BatchWorkers
+		rep.SetParam("addr", "self-hosted")
+	} else {
+		rep.SetParam("addr", addr)
 	}
+	rep.SetParam("inflight", strconv.Itoa(inflight))
+	rep.SetParam("workers", strconv.Itoa(workers))
 
 	hc := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 256}}
 	cl := client.New(addr, hc)
@@ -144,38 +152,25 @@ func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed 
 	}
 	for _, clients := range loads {
 		pt := drive(cl, sources, mode, strategy, clients, duration)
-		rep.Points = append(rep.Points, pt)
+		bench.AddServePoint(rep, pt)
 		fmt.Printf("clients=%d: %.1f req/s, %.1f funcs/s, p50=%.0fus p99=%.0fus (%d requests, %d 429s, %d failures)\n",
 			pt.Clients, pt.RequestsPerSec, pt.FuncsPerSec, pt.P50Micros, pt.P99Micros,
 			pt.Requests, pt.Overloaded, pt.Failures)
 	}
 
 	fmt.Println()
-	fmt.Print(bench.FormatServe(rep))
+	fmt.Print(bench.FormatReport(rep))
 	if st, err := cl.Stats(context.Background()); err == nil {
 		fmt.Printf("\ndaemon view: %d funcs ok, %d canceled, cache hit rate %.2f, server p50=%.0fus p99=%.0fus\n",
 			st.Functions.OK, st.Functions.Canceled, st.Cache.HitRate, st.Latency.P50Micros, st.Latency.P99Micros)
 	}
 
-	if out != "" {
-		f, err := os.Create(out)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
-			return 1
-		}
-		werr := rep.WriteJSON(f)
-		if cerr := f.Close(); werr == nil {
-			werr = cerr
-		}
-		if werr != nil {
-			fmt.Fprintf(os.Stderr, "ssaload: %v\n", werr)
-			return 1
-		}
-		fmt.Printf("\nwrote %s\n", out)
+	if code := emit(rep, out, storeDir); code != 0 {
+		return code
 	}
 
-	if violations := bench.CheckServe(rep); len(violations) > 0 {
-		for _, v := range violations {
+	if res := compare.Check(rep, compare.DefaultPolicies("serve", 0)); !res.OK() {
+		for _, v := range res.Messages() {
 			fmt.Fprintf(os.Stderr, "ssaload: smoke gate: %s\n", v)
 		}
 		return 1
@@ -189,7 +184,7 @@ func run(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed 
 // oracle on every case × strategy row) runs in-process via bench; the
 // daemon half replays the same near-duplicate corpus against a memo-enabled
 // server and reads the memo hit rate back from /v1/stats.
-func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed int64, clones, reps int, strategy string, inflight, queue, workers int, out string) int {
+func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, seed int64, clones, reps int, strategy string, inflight, queue, workers int, out, storeDir string) int {
 	if _, err := outofssa.ParseStrategy(strategy); err != nil {
 		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
 		return 2
@@ -202,7 +197,11 @@ func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, se
 	clients := loads[0]
 
 	corpus := bench.MemoCorpus(funcs, clones, seed)
-	rep := &bench.MemoReport{BaseFuncs: funcs, Clones: clones, Seed: seed}
+	rep := bench.NewReport("memo", 1)
+	rep.Count = 1
+	rep.SetParam("base_funcs", strconv.Itoa(funcs))
+	rep.SetParam("clones", strconv.Itoa(clones))
+	rep.SetParam("seed", strconv.FormatInt(seed, 10))
 	if err := bench.RunMemoBatch(rep, corpus, workers, reps); err != nil {
 		fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
 		return 1
@@ -214,7 +213,7 @@ func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, se
 	}
 
 	if addr == "" {
-		srv := serve.New(serve.Config{MaxInFlight: inflight, MaxQueue: maxInt(queue, clients), BatchWorkers: workers})
+		srv := serve.New(serve.Config{MaxInFlight: inflight, MaxQueue: max(queue, clients), BatchWorkers: workers})
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
@@ -235,24 +234,35 @@ func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, se
 	pt := drive(cl, sources, "translate", strategy, clients, duration)
 	after, aerr := cl.Stats(context.Background())
 
-	dp := &bench.MemoDaemonPoint{
-		Clients:   pt.Clients,
-		Requests:  pt.Requests,
-		Funcs:     pt.Funcs,
-		P50Micros: pt.P50Micros,
-		P99Micros: pt.P99Micros,
-	}
+	memoHitRate := 0.0
 	if berr == nil && aerr == nil && before.Memo != nil && after.Memo != nil {
 		hits := after.Memo.Hits - before.Memo.Hits
 		misses := after.Memo.Misses - before.Memo.Misses
 		if hits+misses > 0 {
-			dp.MemoHitRate = float64(hits) / float64(hits+misses)
+			memoHitRate = float64(hits) / float64(hits+misses)
 		}
 	}
-	rep.Daemon = dp
+	bench.AddMemoDaemonPoint(rep, pt, memoHitRate)
 
-	fmt.Print(bench.FormatMemo(rep))
+	fmt.Print(bench.FormatReport(rep))
 
+	if code := emit(rep, out, storeDir); code != 0 {
+		return code
+	}
+
+	policies := append(compare.DefaultPolicies("memo", 0), compare.DaemonPolicies()...)
+	if res := compare.Check(rep, policies); !res.OK() {
+		for _, v := range res.Messages() {
+			fmt.Fprintf(os.Stderr, "ssaload: memo gate: %s\n", v)
+		}
+		return 1
+	}
+	fmt.Println("memo gate: warm >=2x faster than cold, full warm hit rate, every differential row clean, daemon memo engaged")
+	return 0
+}
+
+// emit writes the envelope to -out and/or appends it to the -store.
+func emit(rep *bench.Report, out, storeDir string) int {
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -269,22 +279,20 @@ func runDup(addr, loadsCSV string, duration, warmup time.Duration, funcs int, se
 		}
 		fmt.Printf("\nwrote %s\n", out)
 	}
-
-	if violations := bench.CheckMemo(rep); len(violations) > 0 {
-		for _, v := range violations {
-			fmt.Fprintf(os.Stderr, "ssaload: memo gate: %s\n", v)
+	if storeDir != "" {
+		st, err := store.Open(storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+			return 1
 		}
-		return 1
+		id, err := st.Append(rep)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ssaload: %v\n", err)
+			return 1
+		}
+		fmt.Printf("stored %s (%s)\n", id, st.Dir())
 	}
-	fmt.Println("memo gate: warm >=2x faster than cold, full warm hit rate, every differential row clean")
 	return 0
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // drive runs one closed-loop load point and reduces it to a ServePoint.
@@ -390,10 +398,7 @@ func regroup(sources []string, n int) []string {
 	}
 	var out []string
 	for i := 0; i < len(sources); i += n {
-		end := i + n
-		if end > len(sources) {
-			end = len(sources)
-		}
+		end := min(i+n, len(sources))
 		out = append(out, strings.Join(sources[i:end], "\n"))
 	}
 	return out

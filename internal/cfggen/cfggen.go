@@ -299,8 +299,8 @@ func (g *gen) loop(vars *[]ir.VarID, depth int) {
 // consume runs a nested body with a bounded share of the budget.
 func (g *gen) consume(depth int, vars *[]ir.VarID) {
 	save := g.budget
-	share := 1 + g.rng.Intn(maxInt(save/3, 1))
-	g.budget = minInt(share, save)
+	share := 1 + g.rng.Intn(max(save/3, 1))
+	g.budget = min(share, save)
 	used := g.budget
 	g.body(vars, depth+1)
 	used -= g.budget
@@ -322,18 +322,4 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

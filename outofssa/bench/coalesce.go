@@ -1,10 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"strings"
 	"testing"
 
 	"repro/internal/cfggen"
@@ -26,15 +22,16 @@ import (
 // class interference tests, each decomposing into LiveAfter /
 // DefOrder / DefDominates queries, plus the class merges between them. The
 // corpus is φ/copy-dense (wide switch joins, a large shared-variable pool,
-// most copies kept), and every engine × backend combination is measured
-// with testing.Benchmark, recorded as BENCH_coalesce.json per CI run.
+// most copies kept).
 //
 // The "reference" engine is the pre-optimization query path kept alive
 // behind interference.Checker.Reference / congruence.Classes.Reference:
 // linear use-list scans, per-query def-point derivation, per-merge class
 // allocation. Both engines make identical coalescing decisions — a
 // differential test asserts it on this very corpus — so the trajectory
-// isolates cost, not quality.
+// isolates cost, not quality. Rows are keyed case × "engine/backend";
+// intersection_tests is the Figure 6 instrumentation and a gated quality
+// metric.
 
 // CoalesceCase is one corpus entry of the coalescing trajectory: a function
 // with Method I copies already inserted, ready for class-level coalescing.
@@ -128,31 +125,6 @@ func (c *CoalesceCase) RunCoalesce(chk *interference.Checker) *coalesce.Result {
 	return coalesce.Run(m, c.affs, coalesce.Value, false)
 }
 
-// CoalesceResultRow is one (case, engine, backend) measurement.
-type CoalesceResultRow struct {
-	Case    string `json:"case"`
-	Engine  string `json:"engine"`  // "optimized" or "reference"
-	Backend string `json:"backend"` // "livecheck" or "liveness"
-	// NsPerOp, AllocsPerOp and BytesPerOp come from testing.Benchmark.
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// Queries counts the variable-pair intersection tests of one run —
-	// the Figure 6 instrumentation; identical across engines.
-	Queries int `json:"queries"`
-	// Coalesced and Remaining summarize the decisions of one run —
-	// identical across engines (the differential test enforces it).
-	Coalesced int `json:"coalesced"`
-	Remaining int `json:"remaining"`
-}
-
-// CoalesceReport is the BENCH_coalesce.json payload.
-type CoalesceReport struct {
-	Scale   float64             `json:"scale"`
-	Corpus  []CoalesceCase      `json:"corpus"`
-	Results []CoalesceResultRow `json:"results"`
-}
-
 var coalesceEngines = []struct {
 	name      string
 	reference bool
@@ -169,78 +141,55 @@ var coalesceBackends = []struct {
 	{"liveness", false},
 }
 
-// CoalesceTrajectory measures every engine × backend combination over the
-// corpus with testing.Benchmark and returns the report.
-func CoalesceTrajectory(scale float64) *CoalesceReport {
-	corpus := CoalesceCorpus(scale)
-	rep := &CoalesceReport{Scale: scale, Corpus: corpus}
-	for i := range corpus {
-		c := &corpus[i]
-		for _, eng := range coalesceEngines {
-			for _, bk := range coalesceBackends {
+// coalesceRunner measures every engine × backend combination over the
+// corpus with testing.Benchmark.
+type coalesceRunner struct {
+	scale  float64
+	corpus []CoalesceCase
+}
+
+// CoalesceRunner builds the coalescing trajectory runner at the given
+// scale.
+func CoalesceRunner(scale float64) Runner {
+	return &coalesceRunner{scale: scale, corpus: CoalesceCorpus(scale)}
+}
+
+func (r *coalesceRunner) Trajectory() string { return "coalesce" }
+func (r *coalesceRunner) Scale() float64     { return r.scale }
+
+func (r *coalesceRunner) Run(rep *Report) error {
+	rep.SetParam("cases", formatNum(float64(len(r.corpus))))
+	for i := range r.corpus {
+		c := &r.corpus[i]
+		for _, bk := range coalesceBackends {
+			byEngine := map[string]testing.BenchmarkResult{}
+			for _, eng := range coalesceEngines {
 				chk := c.NewChecker(eng.reference, bk.livecheck)
-				r := testing.Benchmark(func(b *testing.B) {
+				res := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						c.RunCoalesce(chk)
 					}
 				})
+				byEngine[eng.name] = res
 				// A clean checker isolates the query count of one run.
 				stat := c.NewChecker(eng.reference, bk.livecheck)
-				res := c.RunCoalesce(stat)
-				rep.Results = append(rep.Results, CoalesceResultRow{
-					Case:        c.Name,
-					Engine:      eng.name,
-					Backend:     bk.name,
-					NsPerOp:     float64(r.NsPerOp()),
-					AllocsPerOp: r.AllocsPerOp(),
-					BytesPerOp:  r.AllocedBytesPerOp(),
-					Queries:     stat.Queries,
-					Coalesced:   res.Removed,
-					Remaining:   res.RemainingCount,
-				})
+				cres := c.RunCoalesce(stat)
+				variant := eng.name + "/" + bk.name
+				rep.Sample(c.Name, variant, "ns_per_op", float64(res.NsPerOp()))
+				rep.Sample(c.Name, variant, "allocs_per_op", float64(res.AllocsPerOp()))
+				rep.Sample(c.Name, variant, "bytes_per_op", float64(res.AllocedBytesPerOp()))
+				rep.Sample(c.Name, variant, "intersection_tests", float64(stat.Queries))
+				rep.Sample(c.Name, variant, "copies_coalesced", float64(cres.Removed))
+				rep.Sample(c.Name, variant, "copies_remaining", float64(cres.RemainingCount))
 			}
+			opt, ref := byEngine["optimized"], byEngine["reference"]
+			variant := "optimized/" + bk.name
+			rep.Sample(c.Name, variant, "speedup",
+				ratio(float64(ref.NsPerOp()), float64(opt.NsPerOp())))
+			rep.Sample(c.Name, variant, "alloc_ratio",
+				ratio(float64(ref.AllocsPerOp()), float64(opt.AllocsPerOp())))
 		}
 	}
-	return rep
-}
-
-// WriteJSON writes the report as indented JSON.
-func (rep *CoalesceReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// FormatCoalesce renders the trajectory as a table: one row per case and
-// backend, optimized vs reference side by side with the speedup and the
-// allocation ratio.
-func FormatCoalesce(rep *CoalesceReport) string {
-	byKey := map[string]CoalesceResultRow{}
-	for _, r := range rep.Results {
-		byKey[r.Case+"/"+r.Engine+"/"+r.Backend] = r
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Coalescing trajectory (scale %g): optimized vs reference query path\n", rep.Scale)
-	fmt.Fprintf(&b, "%-24s %-9s %10s %10s %7s %12s %12s %7s\n",
-		"case", "backend", "opt ns/op", "ref ns/op", "speedup", "opt allocs", "ref allocs", "alloc÷")
-	for _, c := range rep.Corpus {
-		for _, bk := range coalesceBackends {
-			opt, okO := byKey[c.Name+"/optimized/"+bk.name]
-			ref, okR := byKey[c.Name+"/reference/"+bk.name]
-			if !okO || !okR {
-				continue
-			}
-			speed, allocR := 0.0, 0.0
-			if opt.NsPerOp > 0 {
-				speed = ref.NsPerOp / opt.NsPerOp
-			}
-			if opt.AllocsPerOp > 0 {
-				allocR = float64(ref.AllocsPerOp) / float64(opt.AllocsPerOp)
-			}
-			fmt.Fprintf(&b, "%-24s %-9s %10.0f %10.0f %6.2fx %12d %12d %6.2fx\n",
-				c.Name, bk.name, opt.NsPerOp, ref.NsPerOp, speed, opt.AllocsPerOp, ref.AllocsPerOp, allocR)
-		}
-	}
-	return b.String()
+	return nil
 }

@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
-	"strings"
 	"testing"
 
 	"repro/internal/cfggen"
@@ -114,32 +112,4 @@ func coalesceDecisions(t *testing.T, f *ir.Func, opt core.Options) []int {
 		out[i] = int(s)
 	}
 	return out
-}
-
-func TestCoalesceReportJSONAndFormat(t *testing.T) {
-	rep := &CoalesceReport{
-		Scale: 0.5,
-		Corpus: []CoalesceCase{
-			{Name: "c1", Blocks: 10, Vars: 20, Phis: 3, Affinities: 7},
-		},
-		Results: []CoalesceResultRow{
-			{Case: "c1", Engine: "optimized", Backend: "livecheck", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 400, Queries: 12, Coalesced: 6, Remaining: 1},
-			{Case: "c1", Engine: "reference", Backend: "livecheck", NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4000, Queries: 12, Coalesced: 6, Remaining: 1},
-		},
-	}
-	var sb strings.Builder
-	if err := rep.WriteJSON(&sb); err != nil {
-		t.Fatal(err)
-	}
-	var back CoalesceReport
-	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
-		t.Fatal(err)
-	}
-	if back.Scale != 0.5 || len(back.Results) != 2 || back.Results[0].Engine != "optimized" {
-		t.Fatalf("round trip lost data: %+v", back)
-	}
-	table := FormatCoalesce(rep)
-	if !strings.Contains(table, "c1") || !strings.Contains(table, "10.00x") {
-		t.Fatalf("table missing case or speedup:\n%s", table)
-	}
 }

@@ -1,0 +1,297 @@
+package compare
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/outofssa/bench"
+)
+
+// synthetic builds an envelope with n samples per metric drawn around the
+// given centers with a small relative jitter. Quality counts
+// (copies_remaining etc.) are deterministic in the real harness, so they
+// repeat exactly — that is what makes their zero-regress gate viable.
+func synthetic(trajectory string, rng *rand.Rand, n int, jitter float64, centers map[string]float64) *bench.Report {
+	rep := bench.NewReport(trajectory, 0.05)
+	rep.Count = n
+	deterministic := map[string]bool{"copies_remaining": true, "final_copies": true, "intersection_tests": true}
+	for i := 0; i < n; i++ {
+		for name, c := range centers {
+			v := c
+			if jitter > 0 && !deterministic[name] {
+				v = c * (1 + (rng.Float64()*2-1)*jitter)
+			}
+			rep.Sample("case-a", "pooled", name, v)
+		}
+	}
+	return rep
+}
+
+// scaled returns a copy of the centers with one metric multiplied.
+func scaled(centers map[string]float64, metric string, factor float64) map[string]float64 {
+	out := map[string]float64{}
+	for k, v := range centers {
+		out[k] = v
+	}
+	out[metric] *= factor
+	return out
+}
+
+var baseCenters = map[string]float64{
+	"ns_per_op":        10_000,
+	"allocs_per_op":    120,
+	"copies_remaining": 40,
+	"speedup":          1.8,
+}
+
+// TestCompareInjectedRegressions: a synthetic regression of each metric
+// kind — wall clock, allocations, quality count, higher-is-better ratio —
+// must fire the gate; the injection direction matters.
+func TestCompareInjectedRegressions(t *testing.T) {
+	policies := append(DefaultPolicies("translate", 0), Regress("speedup", 0.10))
+	cases := []struct {
+		metric string
+		factor float64
+	}{
+		{"ns_per_op", 1.60},        // +60% wall clock, limit +35%
+		{"allocs_per_op", 1.30},    // +30% allocs, limit +20%
+		{"copies_remaining", 1.05}, // any quality regression, limit 0
+		{"speedup", 0.70},          // -30% on a higher-is-better metric
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(1))
+		baseline := synthetic("translate", rng, 5, 0.02, baseCenters)
+		candidate := synthetic("translate", rng, 5, 0.02, scaled(baseCenters, tc.metric, tc.factor))
+		res, err := Compare(baseline, candidate, policies, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.metric, err)
+		}
+		if res.OK() {
+			t.Errorf("injected %s×%.2f regression passed the gate:\n%s", tc.metric, tc.factor, res.Format())
+			continue
+		}
+		found := false
+		for _, v := range res.Violations {
+			if v.Delta.Metric == tc.metric {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("injected %s regression fired the wrong gate: %v", tc.metric, res.Messages())
+		}
+	}
+}
+
+// TestCompareNoiseWithinBoundsPasses: across many seeds, jitter well inside
+// every limit must never fire — the gate tolerates measurement noise.
+func TestCompareNoiseWithinBoundsPasses(t *testing.T) {
+	policies := []Policy{
+		Regress("ns_per_op", 0.35),
+		Regress("allocs_per_op", 0.20),
+		Regress("speedup", 0.20),
+	}
+	noisy := map[string]float64{"ns_per_op": 10_000, "allocs_per_op": 120, "speedup": 1.8}
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		baseline := synthetic("translate", rng, 7, 0.04, noisy)
+		candidate := synthetic("translate", rng, 7, 0.04, noisy)
+		res, err := Compare(baseline, candidate, policies, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Fatalf("seed %d: noise within bounds fired the gate: %v", seed, res.Messages())
+		}
+	}
+}
+
+// TestCompareIdenticalRunPasses: comparing a report with itself — the CI
+// self-check — is always clean, including the zero-regress quality gates.
+func TestCompareIdenticalRunPasses(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rep := synthetic("translate", rng, 3, 0.05, baseCenters)
+	res, err := Compare(rep, rep, DefaultPolicies("translate", 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("identical comparison fired the gate: %v", res.Messages())
+	}
+}
+
+// TestCompareImprovementsPass: movement in the better direction is never a
+// regression, however large.
+func TestCompareImprovementsPass(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	baseline := synthetic("translate", rng, 5, 0.02, baseCenters)
+	improved := scaled(scaled(baseCenters, "ns_per_op", 0.5), "speedup", 2)
+	candidate := synthetic("translate", rng, 5, 0.02, improved)
+	res, err := Compare(baseline, candidate, append(DefaultPolicies("translate", 0), Regress("speedup", 0.10)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("improvement fired the gate: %v", res.Messages())
+	}
+}
+
+// TestCompareSingleSamplePointComparison: n=1 rows still gate, but degrade
+// to a loudly-warned point comparison rather than a silent pass.
+func TestCompareSingleSamplePointComparison(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	baseline := synthetic("translate", rng, 1, 0, baseCenters)
+	candidate := synthetic("translate", rng, 1, 0, scaled(baseCenters, "allocs_per_op", 1.5))
+	res, err := Compare(baseline, candidate, DefaultPolicies("translate", 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("single-sample regression passed silently")
+	}
+	warned := false
+	for _, w := range res.Warnings {
+		if strings.Contains(w, "point comparison") {
+			warned = true
+		}
+	}
+	if !warned {
+		t.Fatalf("missing single-sample warning: %v", res.Warnings)
+	}
+	for _, v := range res.Violations {
+		if v.Delta.Metric == "allocs_per_op" && !strings.Contains(v.Msg, "point comparison") {
+			t.Fatalf("violation does not flag the point comparison: %s", v.Msg)
+		}
+	}
+}
+
+// TestCompareMachineShapeMismatch: a shape mismatch refuses by default;
+// with AllowMachineMismatch it warns and skips wall-clock relative gates
+// but still fires machine-neutral ones (allocations, quality).
+func TestCompareMachineShapeMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	baseline := synthetic("translate", rng, 3, 0.02, baseCenters)
+	regressed := scaled(scaled(baseCenters, "ns_per_op", 2), "allocs_per_op", 1.5)
+	candidate := synthetic("translate", rng, 3, 0.02, regressed)
+	baseline.Env.NumCPU = candidate.Env.NumCPU + 8
+	baseline.Env.GOMAXPROCS = candidate.Env.GOMAXPROCS + 8
+
+	if _, err := Compare(baseline, candidate, DefaultPolicies("translate", 0), Options{}); err == nil {
+		t.Fatal("machine shape mismatch must refuse by default")
+	}
+
+	res, err := Compare(baseline, candidate, DefaultPolicies("translate", 0), Options{AllowMachineMismatch: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Warnings) == 0 || !strings.Contains(res.Warnings[0], "MACHINE SHAPE MISMATCH") {
+		t.Fatalf("missing machine-mismatch warning: %v", res.Warnings)
+	}
+	sawAlloc := false
+	for _, v := range res.Violations {
+		if v.Delta.Metric == "ns_per_op" {
+			t.Fatalf("wall-clock gate fired across machine shapes: %s", v.Msg)
+		}
+		if v.Delta.Metric == "allocs_per_op" {
+			sawAlloc = true
+		}
+	}
+	if !sawAlloc {
+		t.Fatalf("machine-neutral alloc gate skipped: %v", res.Messages())
+	}
+}
+
+// TestCompareTrajectoryAndScaleMismatch: envelopes from different
+// trajectories or corpus scales never compare.
+func TestCompareTrajectoryAndScaleMismatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := synthetic("translate", rng, 3, 0.02, baseCenters)
+	b := synthetic("liveness", rng, 3, 0.02, baseCenters)
+	if _, err := Compare(a, b, nil, Options{}); err == nil {
+		t.Fatal("trajectory mismatch must error")
+	}
+	c := synthetic("translate", rng, 3, 0.02, baseCenters)
+	c.Scale = 0.5
+	if _, err := Compare(a, c, nil, Options{}); err == nil {
+		t.Fatal("scale mismatch must error")
+	}
+}
+
+// TestCheckAbsoluteGates: the baseline-free self-gate fires floors and
+// ceilings, and Required policies catch a sweep that dropped its point.
+func TestCheckAbsoluteGates(t *testing.T) {
+	rep := bench.NewReport("serve", 1)
+	rep.Sample("load", "clients=2", "requests", 500)
+	rep.Sample("load", "clients=2", "failures", 3)
+	rep.Sample("load", "clients=2", "quantiles_coherent", 1)
+	res := Check(rep, DefaultPolicies("serve", 0))
+	if res.OK() {
+		t.Fatalf("3 failures passed the zero-failure ceiling:\n%s", res.Format())
+	}
+
+	rep2 := bench.NewReport("serve", 1)
+	rep2.Sample("load", "clients=2", "requests", 500)
+	rep2.Sample("load", "clients=2", "failures", 0)
+	rep2.Sample("load", "clients=2", "quantiles_coherent", 1)
+	if res := Check(rep2, DefaultPolicies("serve", 0)); !res.OK() {
+		t.Fatalf("clean serve report fired the gate: %v", res.Messages())
+	}
+
+	// A report missing the gated point entirely must fail, not pass.
+	empty := bench.NewReport("serve", 1)
+	if res := Check(empty, DefaultPolicies("serve", 0)); res.OK() {
+		t.Fatal("empty report passed Required gates")
+	}
+}
+
+// TestScaleEfficiencyFloor: the scale trajectory's 8-worker efficiency
+// floor — the old CheckScaleEfficiency — as a compare policy.
+func TestScaleEfficiencyFloor(t *testing.T) {
+	rep := bench.NewReport("scale", 0.05)
+	for _, gogc := range []string{"off", "100"} {
+		rep.Sample("batch", "gogc="+gogc+"/workers=1", "efficiency", 1)
+		rep.Sample("batch", "gogc="+gogc+"/workers=8", "efficiency", 0.72)
+	}
+	if res := Check(rep, DefaultPolicies("scale", 0.6)); !res.OK() {
+		t.Fatalf("efficiency 0.72 ≥ 0.6 fired: %v", res.Messages())
+	}
+	if res := Check(rep, DefaultPolicies("scale", 0.8)); res.OK() {
+		t.Fatal("efficiency 0.72 passed a 0.8 floor")
+	}
+}
+
+// TestMannWhitney sanity: clearly separated samples are significant,
+// identical samples are not, and NaN marks under-sampled sides.
+func TestMannWhitney(t *testing.T) {
+	lo := []float64{10, 11, 12, 10.5, 11.5, 10.2, 11.8, 10.9}
+	hi := []float64{20, 21, 22, 20.5, 21.5, 20.2, 21.8, 20.9}
+	if p := mannWhitneyP(lo, hi); p >= 0.05 {
+		t.Fatalf("separated samples p=%.4f, want <0.05", p)
+	}
+	same := []float64{5, 5, 5, 5}
+	if p := mannWhitneyP(same, same); p < 0.99 {
+		t.Fatalf("identical samples p=%.4f, want ≈1", p)
+	}
+	if p := mannWhitneyP(nil, hi); !math.IsNaN(p) {
+		t.Fatalf("empty side p=%v, want NaN", p)
+	}
+}
+
+// TestFormatMentionsEverything: the rendered table carries the verdict,
+// the warnings, and the violations — it is the CI log artifact.
+func TestFormatMentionsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	baseline := synthetic("translate", rng, 3, 0.02, baseCenters)
+	candidate := synthetic("translate", rng, 3, 0.02, scaled(baseCenters, "allocs_per_op", 2))
+	res, err := Compare(baseline, candidate, DefaultPolicies("translate", 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Format()
+	for _, want := range []string{"translate trajectory", "allocs_per_op", "VIOLATION", "gate: FAIL"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -249,9 +249,9 @@ func Fig7(suite []Benchmark) []Fig7Row {
 				row.TotMeasured += meas
 				row.TotOrdered += ord
 				row.TotBitset += bit
-				row.MaxMeasured = maxInt(row.MaxMeasured, meas)
-				row.MaxOrdered = maxInt(row.MaxOrdered, ord)
-				row.MaxBitset = maxInt(row.MaxBitset, bit)
+				row.MaxMeasured = max(row.MaxMeasured, meas)
+				row.MaxOrdered = max(row.MaxOrdered, ord)
+				row.MaxBitset = max(row.MaxBitset, bit)
 			}
 		}
 	}
@@ -278,11 +278,4 @@ func FormatFig7(rows []Fig7Row) string {
 	fmt.Fprintf(&b, "absolute totals (bytes): measured=%d ordered-eval=%d bitset-eval=%d (Sreedhar III)\n",
 		base.TotMeasured, base.TotOrdered, base.TotBitset)
 	return b.String()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -1,10 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"strings"
 	"testing"
 
 	"repro/internal/cfggen"
@@ -13,14 +9,15 @@ import (
 )
 
 // ------------------------------------------------- Liveness trajectory
-
+//
 // The liveness trajectory benchmarks the engine's hottest analysis on a
 // synthetic large-CFG corpus (deeply nested loops, wide switch dispatches,
-// dense φ pressure; thousands of blocks per function at scale 1) and
-// records the results as BENCH_liveness.json, so the perf trend of the
-// worklist engine is visible PR over PR. The pre-worklist round-robin
-// fixpoint (liveness.ComputeReference) is measured alongside as the fixed
-// baseline.
+// dense φ pressure; thousands of blocks per function at scale 1). The
+// pre-worklist round-robin fixpoint (liveness.ComputeReference) is measured
+// alongside as the fixed baseline, and the worklist rows carry the derived
+// speedup/alloc_ratio metrics the trajectory's claim is about. Rows are
+// keyed case × "engine/backend"; the envelope lands in the bench store and
+// BENCH_liveness.json.
 
 // LivenessCase is one corpus entry of the liveness trajectory.
 type LivenessCase struct {
@@ -61,29 +58,6 @@ func LivenessCorpus(scale float64) []LivenessCase {
 // Func returns the case's function (tests drive the engines directly).
 func (c *LivenessCase) Func() *ir.Func { return c.fn }
 
-// LivenessResult is one (case, engine, backend) measurement.
-type LivenessResult struct {
-	Case    string `json:"case"`
-	Engine  string `json:"engine"`  // "worklist" or "reference"
-	Backend string `json:"backend"` // "bitsets" or "ordered"
-	// NsPerOp, AllocsPerOp and BytesPerOp come from testing.Benchmark.
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// Pops and Iterations are the fixpoint effort of one run (worklist
-	// pops / max visits of a single block; the reference engine reports
-	// passes × blocks and passes).
-	Pops       int `json:"pops"`
-	Iterations int `json:"iterations"`
-}
-
-// LivenessReport is the BENCH_liveness.json payload.
-type LivenessReport struct {
-	Scale   float64          `json:"scale"`
-	Corpus  []LivenessCase   `json:"corpus"`
-	Results []LivenessResult `json:"results"`
-}
-
 type livenessEngine struct {
 	name string
 	run  func(*ir.Func, liveness.Backend) *liveness.Info
@@ -104,74 +78,56 @@ var livenessBackends = []struct {
 	{"ordered", liveness.OrderedSets},
 }
 
-// LivenessTrajectory measures every engine × backend combination over the
-// corpus with testing.Benchmark and returns the report.
-func LivenessTrajectory(scale float64) *LivenessReport {
-	corpus := LivenessCorpus(scale)
-	rep := &LivenessReport{Scale: scale, Corpus: corpus}
-	for _, c := range corpus {
-		for _, eng := range livenessEngines {
-			for _, bk := range livenessBackends {
+// livenessRunner measures every engine × backend combination over the
+// corpus with testing.Benchmark.
+type livenessRunner struct {
+	scale  float64
+	corpus []LivenessCase
+}
+
+// LivenessRunner builds the liveness trajectory runner at the given scale.
+func LivenessRunner(scale float64) Runner {
+	return &livenessRunner{scale: scale, corpus: LivenessCorpus(scale)}
+}
+
+func (r *livenessRunner) Trajectory() string { return "liveness" }
+func (r *livenessRunner) Scale() float64     { return r.scale }
+
+func (r *livenessRunner) Run(rep *Report) error {
+	rep.SetParam("cases", formatNum(float64(len(r.corpus))))
+	for i := range r.corpus {
+		c := &r.corpus[i]
+		for _, bk := range livenessBackends {
+			type meas struct {
+				res  testing.BenchmarkResult
+				info *liveness.Info
+			}
+			byEngine := map[string]meas{}
+			for _, eng := range livenessEngines {
 				f, run, be := c.fn, eng.run, bk.be
-				r := testing.Benchmark(func(b *testing.B) {
+				res := testing.Benchmark(func(b *testing.B) {
 					b.ReportAllocs()
 					for i := 0; i < b.N; i++ {
 						run(f, be)
 					}
 				})
-				info := run(f, be)
-				rep.Results = append(rep.Results, LivenessResult{
-					Case:        c.Name,
-					Engine:      eng.name,
-					Backend:     bk.name,
-					NsPerOp:     float64(r.NsPerOp()),
-					AllocsPerOp: r.AllocsPerOp(),
-					BytesPerOp:  r.AllocedBytesPerOp(),
-					Pops:        info.Pops,
-					Iterations:  info.Iterations,
-				})
+				byEngine[eng.name] = meas{res: res, info: run(f, be)}
+				variant := eng.name + "/" + bk.name
+				rep.Sample(c.Name, variant, "ns_per_op", float64(res.NsPerOp()))
+				rep.Sample(c.Name, variant, "allocs_per_op", float64(res.AllocsPerOp()))
+				rep.Sample(c.Name, variant, "bytes_per_op", float64(res.AllocedBytesPerOp()))
+				rep.Sample(c.Name, variant, "pops", float64(byEngine[eng.name].info.Pops))
+				rep.Sample(c.Name, variant, "iterations", float64(byEngine[eng.name].info.Iterations))
 			}
+			// Derived claim metrics on the optimized rows: worklist vs
+			// reference of the same pass, so the ratio is noise-paired.
+			wl, ref := byEngine["worklist"], byEngine["reference"]
+			variant := "worklist/" + bk.name
+			rep.Sample(c.Name, variant, "speedup",
+				ratio(float64(ref.res.NsPerOp()), float64(wl.res.NsPerOp())))
+			rep.Sample(c.Name, variant, "alloc_ratio",
+				ratio(float64(ref.res.AllocsPerOp()), float64(wl.res.AllocsPerOp())))
 		}
 	}
-	return rep
-}
-
-// WriteJSON writes the report as indented JSON.
-func (rep *LivenessReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// FormatLiveness renders the trajectory as a table: one row per case and
-// backend, worklist vs reference side by side with the speedup and the
-// allocation ratio.
-func FormatLiveness(rep *LivenessReport) string {
-	byKey := map[string]LivenessResult{}
-	for _, r := range rep.Results {
-		byKey[r.Case+"/"+r.Engine+"/"+r.Backend] = r
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Liveness trajectory (scale %g): worklist vs reference fixpoint\n", rep.Scale)
-	fmt.Fprintf(&b, "%-22s %-8s %9s %9s %7s %12s %12s %7s\n",
-		"case", "backend", "wl ns/op", "ref ns/op", "speedup", "wl allocs", "ref allocs", "alloc÷")
-	for _, c := range rep.Corpus {
-		for _, bk := range livenessBackends {
-			wl, okW := byKey[c.Name+"/worklist/"+bk.name]
-			ref, okR := byKey[c.Name+"/reference/"+bk.name]
-			if !okW || !okR {
-				continue
-			}
-			speed, allocR := 0.0, 0.0
-			if wl.NsPerOp > 0 {
-				speed = ref.NsPerOp / wl.NsPerOp
-			}
-			if wl.AllocsPerOp > 0 {
-				allocR = float64(ref.AllocsPerOp) / float64(wl.AllocsPerOp)
-			}
-			fmt.Fprintf(&b, "%-22s %-8s %9.0f %9.0f %6.2fx %12d %12d %6.2fx\n",
-				c.Name, bk.name, wl.NsPerOp, ref.NsPerOp, speed, wl.AllocsPerOp, ref.AllocsPerOp, allocR)
-		}
-	}
-	return b.String()
+	return nil
 }

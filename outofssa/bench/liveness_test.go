@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
-	"strings"
 	"testing"
 
 	"repro/internal/ir"
@@ -44,33 +42,5 @@ func TestLivenessCorpusEnginesAgree(t *testing.T) {
 				}
 			}
 		}
-	}
-}
-
-func TestLivenessReportJSONAndFormat(t *testing.T) {
-	rep := &LivenessReport{
-		Scale: 0.5,
-		Corpus: []LivenessCase{
-			{Name: "c1", Blocks: 10, Vars: 20, Phis: 3},
-		},
-		Results: []LivenessResult{
-			{Case: "c1", Engine: "worklist", Backend: "bitsets", NsPerOp: 100, AllocsPerOp: 5, BytesPerOp: 400, Pops: 12, Iterations: 2},
-			{Case: "c1", Engine: "reference", Backend: "bitsets", NsPerOp: 1000, AllocsPerOp: 50, BytesPerOp: 4000, Pops: 40, Iterations: 4},
-		},
-	}
-	var sb strings.Builder
-	if err := rep.WriteJSON(&sb); err != nil {
-		t.Fatal(err)
-	}
-	var back LivenessReport
-	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
-		t.Fatal(err)
-	}
-	if back.Scale != 0.5 || len(back.Results) != 2 || back.Results[0].Engine != "worklist" {
-		t.Fatalf("round trip lost data: %+v", back)
-	}
-	table := FormatLiveness(rep)
-	if !strings.Contains(table, "c1") || !strings.Contains(table, "10.00x") {
-		t.Fatalf("table missing case or speedup:\n%s", table)
 	}
 }

@@ -2,11 +2,8 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"runtime"
-	"strings"
 	"time"
 
 	"repro/internal/cfggen"
@@ -33,94 +30,11 @@ import (
 // Every (case, strategy) row also runs the differential oracle: the
 // memoized output must behave identically to the uncached translation
 // (interpreter equivalence), with identical statistics (modulo wall clock)
-// and identical per-φ coalescing statuses. cmd/ssaload -dup produces the
-// committed artifact (BENCH_memo.json, with a daemon point on top) and CI
-// gates it with CheckMemo: warm ≥2× faster than cold, full warm hit rate,
-// every oracle row clean.
-
-// MemoPass is one timed batch pass over the whole near-duplicate corpus.
-type MemoPass struct {
-	// Kind is "uncached", "memo-cold", or "memo-warm".
-	Kind string `json:"kind"`
-	// Strategy names the coalescing strategy of the pass.
-	Strategy string `json:"strategy"`
-	// Funcs is the corpus size the pass translated.
-	Funcs int `json:"funcs"`
-	// Nanos is the best-of-reps wall clock of the whole pass.
-	Nanos int64 `json:"nanos"`
-	// NanosPerFunc is Nanos / Funcs.
-	NanosPerFunc float64 `json:"nanos_per_func"`
-	// MemoHits/MemoMisses are the memo lookups of one rep of this pass
-	// (zero for the uncached pass).
-	MemoHits   uint64 `json:"memo_hits"`
-	MemoMisses uint64 `json:"memo_misses"`
-	// HitRate is MemoHits / (MemoHits + MemoMisses).
-	HitRate float64 `json:"hit_rate"`
-}
-
-// MemoCase is one differential-oracle row: one corpus function under one
-// strategy, translated uncached and from the warm memo, compared.
-type MemoCase struct {
-	Name     string `json:"name"`
-	Strategy string `json:"strategy"`
-	// MemoHit reports the warm translation was actually served from the
-	// memo (not silently re-translated).
-	MemoHit bool `json:"memo_hit"`
-	// StatsMatch reports identical translation statistics (wall-clock
-	// fields excluded — the memoized stats carry none).
-	StatsMatch bool `json:"stats_match"`
-	// StatusesMatch reports identical per-φ coalescing statuses.
-	StatusesMatch bool `json:"statuses_match"`
-	// Equivalent reports interpreter-observable equivalence of the memoized
-	// output against both the SSA source and the uncached translation.
-	Equivalent bool `json:"equivalent"`
-}
-
-// MemoDaemonPoint is the daemon-mode measurement: near-duplicate traffic
-// replayed against a memo-enabled server (cmd/ssaload -dup).
-type MemoDaemonPoint struct {
-	Clients  int   `json:"clients"`
-	Requests int64 `json:"requests"`
-	Funcs    int64 `json:"funcs"`
-	// MemoHitRate is the server's own view (GET /v1/stats, memo section).
-	MemoHitRate float64 `json:"memo_hit_rate"`
-	P50Micros   float64 `json:"p50_us"`
-	P99Micros   float64 `json:"p99_us"`
-}
-
-// MemoReport is the BENCH_memo.json payload.
-type MemoReport struct {
-	// BaseFuncs/Clones/CorpusFuncs describe the near-duplicate corpus:
-	// BaseFuncs distinct functions, Clones edited clones each.
-	BaseFuncs   int   `json:"base_funcs"`
-	Clones      int   `json:"clones"`
-	CorpusFuncs int   `json:"corpus_funcs"`
-	Seed        int64 `json:"seed"`
-	// Workers is the batch worker-pool size the passes ran on; Cores the
-	// machine's GOMAXPROCS.
-	Workers int `json:"workers"`
-	Cores   int `json:"cores"`
-
-	Passes []MemoPass       `json:"passes"`
-	Cases  []MemoCase       `json:"cases"`
-	Daemon *MemoDaemonPoint `json:"daemon,omitempty"`
-}
-
-// WriteJSON writes the report as indented JSON.
-func (rep *MemoReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// ReadMemoReport reads a report written by WriteJSON.
-func ReadMemoReport(r io.Reader) (*MemoReport, error) {
-	var rep MemoReport
-	if err := json.NewDecoder(r).Decode(&rep); err != nil {
-		return nil, fmt.Errorf("bench: reading memo report: %w", err)
-	}
-	return &rep, nil
-}
+// and identical per-φ coalescing statuses; the verdict lands in the
+// envelope as the gateable 0/1 metric oracle_clean. cmd/ssaload -dup
+// produces the committed artifact (BENCH_memo.json, with a daemon point
+// on top) and the memo compare policies gate it: warm_speedup ≥2, full
+// warm hit rate, every oracle row clean.
 
 // MemoCorpus generates the deterministic near-duplicate corpus: baseFuncs
 // distinct functions, clones edited near-duplicates each, interleaved.
@@ -138,10 +52,10 @@ func MemoCorpus(baseFuncs, clones int, seed int64) []*ir.Func {
 	})
 }
 
-// memoStrategies are the strategy rows of the memo trajectory: the façade
+// MemoStrategies are the strategy rows of the memo trajectory: the façade
 // default (value-based sharing) and the virtualized Sreedhar III baseline,
 // so both the materializing and the virtualized coalescer feed the memo.
-func memoStrategies() []struct {
+func MemoStrategies() []struct {
 	Name string
 	Opt  core.Options
 } {
@@ -156,15 +70,15 @@ func memoStrategies() []struct {
 
 // RunMemoBatch measures the three batch passes and the differential-oracle
 // rows for every strategy over the given pristine corpus (which is never
-// mutated — every pass clones it afresh). reps is the best-of repetition
-// count per timed pass (≥1).
-func RunMemoBatch(rep *MemoReport, corpus []*ir.Func, workers, reps int) error {
+// mutated — every pass clones it afresh), folding everything into the
+// envelope. reps is the best-of repetition count per timed pass (≥1).
+func RunMemoBatch(rep *Report, corpus []*ir.Func, workers, reps int) error {
 	if reps < 1 {
 		reps = 1
 	}
-	rep.CorpusFuncs = len(corpus)
-	rep.Workers = pipelineWorkers(workers, len(corpus))
-	rep.Cores = runtime.GOMAXPROCS(0)
+	rep.SetParam("corpus_funcs", formatNum(float64(len(corpus))))
+	rep.SetParam("workers", formatNum(float64(pipelineWorkers(workers, len(corpus)))))
+	rep.SetParam("reps", formatNum(float64(reps)))
 	ctx := context.Background()
 
 	fresh := func() []*ir.Func {
@@ -186,8 +100,20 @@ func RunMemoBatch(rep *MemoReport, corpus []*ir.Func, workers, reps int) error {
 		}
 		return nanos, nil
 	}
+	perFunc := func(nanos int64) float64 {
+		if len(corpus) == 0 {
+			return 0
+		}
+		return float64(nanos) / float64(len(corpus))
+	}
+	hitRate := func(hits, misses uint64) float64 {
+		if hits+misses == 0 {
+			return 0
+		}
+		return float64(hits) / float64(hits+misses)
+	}
 
-	for _, st := range memoStrategies() {
+	for _, st := range MemoStrategies() {
 		// Uncached baseline.
 		var best int64
 		for r := 0; r < reps; r++ {
@@ -199,7 +125,7 @@ func RunMemoBatch(rep *MemoReport, corpus []*ir.Func, workers, reps int) error {
 				best = nanos
 			}
 		}
-		rep.Passes = append(rep.Passes, memoPass("uncached", st.Name, len(corpus), best, 0, 0))
+		rep.Sample(st.Name, "uncached", "nanos_per_func", perFunc(best))
 
 		// Cold: fresh memo per rep — a second pass over the same memo would
 		// silently measure the warm path.
@@ -215,7 +141,9 @@ func RunMemoBatch(rep *MemoReport, corpus []*ir.Func, workers, reps int) error {
 			}
 		}
 		cold := memo.Stats()
-		rep.Passes = append(rep.Passes, memoPass("memo-cold", st.Name, len(corpus), best, cold.Hits, cold.Misses))
+		coldBest := best
+		rep.Sample(st.Name, "memo-cold", "nanos_per_func", perFunc(coldBest))
+		rep.Sample(st.Name, "memo-cold", "hit_rate", hitRate(cold.Hits, cold.Misses))
 
 		// Warm: the populated memo, fresh input clones per rep.
 		pl := pipeline.New(pipeline.OutOfSSAWithMemo(st.Opt, memo)...)
@@ -230,34 +158,44 @@ func RunMemoBatch(rep *MemoReport, corpus []*ir.Func, workers, reps int) error {
 			}
 			if r == reps-1 {
 				after := memo.Stats()
-				rep.Passes = append(rep.Passes, memoPass("memo-warm", st.Name, len(corpus), best,
-					after.Hits-before.Hits, after.Misses-before.Misses))
+				rep.Sample(st.Name, "memo-warm", "nanos_per_func", perFunc(best))
+				rep.Sample(st.Name, "memo-warm", "hit_rate",
+					hitRate(after.Hits-before.Hits, after.Misses-before.Misses))
+				rep.Sample(st.Name, "memo-warm", "warm_speedup",
+					ratio(float64(coldBest), float64(best)))
 			}
 		}
 
 		// Differential oracle per corpus function, against the warm memo.
 		for _, f := range corpus {
-			c, err := memoCase(ctx, f, st.Name, st.Opt, memo)
+			clean, err := memoCase(ctx, f, st.Opt, memo)
 			if err != nil {
 				return err
 			}
-			rep.Cases = append(rep.Cases, c)
+			v := 0.0
+			if clean {
+				v = 1
+			}
+			rep.Sample(f.Name, st.Name+"/oracle", "oracle_clean", v)
 		}
 	}
 	return nil
 }
 
-// memoPass assembles one MemoPass row.
-func memoPass(kind, strategy string, funcs int, nanos int64, hits, misses uint64) MemoPass {
-	p := MemoPass{Kind: kind, Strategy: strategy, Funcs: funcs, Nanos: nanos,
-		MemoHits: hits, MemoMisses: misses}
-	if funcs > 0 {
-		p.NanosPerFunc = float64(nanos) / float64(funcs)
-	}
-	if hits+misses > 0 {
-		p.HitRate = float64(hits) / float64(hits+misses)
-	}
-	return p
+// MemoDaemonVariant names the daemon-traffic row variant.
+func MemoDaemonVariant(clients int) string { return fmt.Sprintf("clients=%d", clients) }
+
+// AddMemoDaemonPoint folds the daemon-mode measurement — near-duplicate
+// traffic replayed against a memo-enabled server (cmd/ssaload -dup) — into
+// the envelope as the row ("daemon", "clients=N"). memoHitRate is the
+// server's own view (GET /v1/stats, memo section).
+func AddMemoDaemonPoint(rep *Report, p ServePoint, memoHitRate float64) {
+	variant := MemoDaemonVariant(p.Clients)
+	rep.Sample("daemon", variant, "requests", float64(p.Requests))
+	rep.Sample("daemon", variant, "funcs", float64(p.Funcs))
+	rep.Sample("daemon", variant, "memo_hit_rate", memoHitRate)
+	rep.Sample("daemon", variant, "p50_us", p.P50Micros)
+	rep.Sample("daemon", variant, "p99_us", p.P99Micros)
 }
 
 // memoInterpParams are the interpreter inputs of the differential oracle.
@@ -267,65 +205,65 @@ const memoInterpSteps = 1 << 20
 
 // memoCase runs the differential oracle for one function: translate a clone
 // uncached, translate another from the warm memo, and compare behaviour,
-// statistics, and coalescing statuses.
-func memoCase(ctx context.Context, f *ir.Func, strategy string, opt core.Options, memo *core.Memo) (MemoCase, error) {
-	c := MemoCase{Name: f.Name, Strategy: strategy}
-
+// statistics, and coalescing statuses. It reports whether every check was
+// clean.
+func memoCase(ctx context.Context, f *ir.Func, opt core.Options, memo *core.Memo) (bool, error) {
 	ref := ir.Clone(f) // pristine SSA source, the semantic reference
 
 	plain := ir.Clone(f)
 	pctxPlain, err := pipeline.New(pipeline.OutOfSSA(opt)...).Run(ctx, plain)
 	if err != nil {
-		return c, fmt.Errorf("bench: memo oracle: uncached %s: %w", f.Name, err)
+		return false, fmt.Errorf("bench: memo oracle: uncached %s: %w", f.Name, err)
 	}
 
 	memoized := ir.Clone(f)
 	key := core.MemoKeyFor(memoized, opt)
 	pctxMemo, err := pipeline.New(pipeline.OutOfSSAWithMemo(opt, memo)...).Run(ctx, memoized)
 	if err != nil {
-		return c, fmt.Errorf("bench: memo oracle: memoized %s: %w", f.Name, err)
+		return false, fmt.Errorf("bench: memo oracle: memoized %s: %w", f.Name, err)
 	}
-	c.MemoHit = pctxMemo.MemoHit
+	memoHit := pctxMemo.MemoHit
 
 	// Statistics, wall clock excluded (memoized stats carry none).
 	a, b := *pctxPlain.Stats, *pctxMemo.Stats
 	a.InsertNanos, a.AnalyzeNanos, a.CoalesceNanos, a.RewriteNanos = 0, 0, 0, 0
 	b.InsertNanos, b.AnalyzeNanos, b.CoalesceNanos, b.RewriteNanos = 0, 0, 0, 0
-	c.StatsMatch = a == b
+	statsMatch := a == b
 
 	// Coalescing statuses: the uncached run's against the stored entry's.
+	statusesMatch := false
 	if e := memo.Lookup(key); e != nil && pctxPlain.Translation != nil {
 		want := pctxPlain.Translation.CoalesceResult().Statuses
 		got := e.Statuses()
-		c.StatusesMatch = len(want) == len(got)
-		for i := 0; c.StatusesMatch && i < len(want); i++ {
+		statusesMatch = len(want) == len(got)
+		for i := 0; statusesMatch && i < len(want); i++ {
 			if want[i] != got[i] {
-				c.StatusesMatch = false
+				statusesMatch = false
 			}
 		}
 	}
 
 	// Observable behaviour: memoized output vs the SSA source and vs the
 	// uncached translation, on every parameter vector.
-	c.Equivalent = true
+	equivalent := true
 	for _, params := range memoInterpParams {
 		re, err := interp.Run(ref, params, memoInterpSteps)
 		if err != nil {
-			return c, fmt.Errorf("bench: memo oracle: interpreting source %s: %w", f.Name, err)
+			return false, fmt.Errorf("bench: memo oracle: interpreting source %s: %w", f.Name, err)
 		}
 		pe, err := interp.Run(plain, params, memoInterpSteps)
 		if err != nil {
-			return c, fmt.Errorf("bench: memo oracle: interpreting uncached %s: %w", f.Name, err)
+			return false, fmt.Errorf("bench: memo oracle: interpreting uncached %s: %w", f.Name, err)
 		}
 		me, err := interp.Run(memoized, params, memoInterpSteps)
 		if err != nil {
-			return c, fmt.Errorf("bench: memo oracle: interpreting memoized %s: %w", f.Name, err)
+			return false, fmt.Errorf("bench: memo oracle: interpreting memoized %s: %w", f.Name, err)
 		}
 		if !interp.Equal(re, me) || !interp.Equal(pe, me) {
-			c.Equivalent = false
+			equivalent = false
 		}
 	}
-	return c, nil
+	return memoHit && statsMatch && statusesMatch && equivalent, nil
 }
 
 // pipelineWorkers mirrors the batch driver's worker clamp for reporting.
@@ -333,95 +271,6 @@ func pipelineWorkers(workers, funcs int) int {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > funcs {
-		workers = funcs
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	return workers
-}
-
-// FormatMemo renders the human-readable report.
-func FormatMemo(rep *MemoReport) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "memoization trajectory: %d base funcs x (1+%d) near-duplicates = %d corpus funcs, %d workers, %d cores\n",
-		rep.BaseFuncs, rep.Clones, rep.CorpusFuncs, rep.Workers, rep.Cores)
-	fmt.Fprintf(&b, "%-10s  %-10s  %8s  %12s  %10s  %8s\n",
-		"strategy", "pass", "funcs", "ns/func", "hits", "hitrate")
-	for i := range rep.Passes {
-		p := &rep.Passes[i]
-		fmt.Fprintf(&b, "%-10s  %-10s  %8d  %12.0f  %10d  %8.2f\n",
-			p.Strategy, p.Kind, p.Funcs, p.NanosPerFunc, p.MemoHits, p.HitRate)
-	}
-	ok := 0
-	for i := range rep.Cases {
-		c := &rep.Cases[i]
-		if c.MemoHit && c.StatsMatch && c.StatusesMatch && c.Equivalent {
-			ok++
-		}
-	}
-	fmt.Fprintf(&b, "differential oracle: %d/%d case x strategy rows clean (memo hit, stats, statuses, behaviour)\n",
-		ok, len(rep.Cases))
-	if rep.Daemon != nil {
-		d := rep.Daemon
-		fmt.Fprintf(&b, "daemon: clients=%d requests=%d funcs=%d memo hit rate %.2f p50=%.0fus p99=%.0fus\n",
-			d.Clients, d.Requests, d.Funcs, d.MemoHitRate, d.P50Micros, d.P99Micros)
-	}
-	return b.String()
-}
-
-// CheckMemo is the gate CI runs on a fresh trajectory: for every strategy
-// the warm pass is at least twice as fast as the cold pass and hits on the
-// whole corpus, and every differential-oracle row is clean. The cold hit
-// rate is reported but not gated (work stealing can translate a base and
-// its rename-clone concurrently, so cold hits are scheduling-dependent).
-func CheckMemo(rep *MemoReport) []string {
-	var violations []string
-	if len(rep.Passes) == 0 {
-		return []string{"no measured passes"}
-	}
-	byKey := map[string]*MemoPass{}
-	for i := range rep.Passes {
-		p := &rep.Passes[i]
-		byKey[p.Strategy+"/"+p.Kind] = p
-	}
-	for _, st := range memoStrategies() {
-		cold := byKey[st.Name+"/memo-cold"]
-		warm := byKey[st.Name+"/memo-warm"]
-		switch {
-		case cold == nil || warm == nil:
-			violations = append(violations, fmt.Sprintf("%s: missing cold or warm pass", st.Name))
-		default:
-			if warm.Nanos*2 > cold.Nanos {
-				violations = append(violations, fmt.Sprintf(
-					"%s: warm pass not >=2x faster than cold (warm %.0f ns/func, cold %.0f ns/func)",
-					st.Name, warm.NanosPerFunc, cold.NanosPerFunc))
-			}
-			if warm.HitRate < 0.999 {
-				violations = append(violations, fmt.Sprintf(
-					"%s: warm hit rate %.3f < 1.0", st.Name, warm.HitRate))
-			}
-		}
-	}
-	if len(rep.Cases) == 0 {
-		violations = append(violations, "no differential-oracle rows")
-	}
-	for i := range rep.Cases {
-		c := &rep.Cases[i]
-		if !c.MemoHit || !c.StatsMatch || !c.StatusesMatch || !c.Equivalent {
-			violations = append(violations, fmt.Sprintf(
-				"oracle %s/%s: hit=%v stats=%v statuses=%v equivalent=%v",
-				c.Strategy, c.Name, c.MemoHit, c.StatsMatch, c.StatusesMatch, c.Equivalent))
-		}
-	}
-	if d := rep.Daemon; d != nil {
-		if d.Requests <= 0 {
-			violations = append(violations, "daemon point completed no requests")
-		}
-		if d.MemoHitRate <= 0 {
-			violations = append(violations, "daemon memo hit rate is zero (memo disabled server-side?)")
-		}
-	}
-	return violations
+	workers = min(workers, funcs)
+	return max(workers, 1)
 }

@@ -2,12 +2,9 @@ package bench
 
 import (
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"runtime"
 	"runtime/debug"
-	"strings"
 	"testing"
 
 	"repro/internal/cfggen"
@@ -22,17 +19,17 @@ import (
 // one RunBatch of the whole corpus — per-function clone included, so the
 // clone cost parallelizes with the translation it feeds — swept over
 // worker counts and GOGC settings in the shape of staticcheck's bench.sh
-// (GOGC × GOMAXPROCS sweep). Each point records ns/op, allocs/op, the
-// speedup against the 1-worker point of the same GOGC row, and the
-// parallel efficiency. Results land in BENCH_scale.json per CI run, and
-// CheckScaleEfficiency gates the curve the way the translate trajectory's
-// allocation gate does.
+// (GOGC × GOMAXPROCS sweep). Each sweep point is one row (case "batch",
+// variant "gogc=X/workers=N") recording ns/op, allocs/op, the speedup
+// against the 1-worker point of the same GOGC row, and the parallel
+// efficiency. The compare policies gate the efficiency floor at the
+// 8-worker point.
 //
 // Efficiency is defined against *available* parallelism: speedup ÷
 // min(workers, GOMAXPROCS at measurement time). A sweep point that
 // oversubscribes the machine (32 workers on 8 cores) is held to the 8-way
 // bar, not an impossible 32-way one, so the gate is meaningful on any
-// hardware; the report records the core count it was measured at.
+// hardware; the envelope's Env records the core count it was measured at.
 
 // ScaleWorkers is the worker-count axis of the sweep. Package variables
 // so tests (and callers with different hardware) can shrink the sweep.
@@ -90,35 +87,10 @@ func ScaleCorpus(scale float64) []ScaleCase {
 	return out
 }
 
-// ScalePoint is one (workers, GOGC) measurement. One op is one full batch:
-// clone every corpus function and translate it through the work-stealing
-// driver.
-type ScalePoint struct {
-	Workers int    `json:"workers"`
-	GOGC    string `json:"gogc"`
-	// NsPerOp, AllocsPerOp and BytesPerOp come from testing.Benchmark.
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// Speedup is the 1-worker ns/op of the same GOGC row divided by this
-	// point's ns/op.
-	Speedup float64 `json:"speedup"`
-	// Efficiency is Speedup ÷ min(Workers, the report's Cores).
-	Efficiency float64 `json:"efficiency"`
-}
-
-// ScaleReport is the BENCH_scale.json payload.
-type ScaleReport struct {
-	Scale float64 `json:"scale"`
-	// Cores is runtime.GOMAXPROCS(0) at measurement time — the available
-	// parallelism Efficiency is normalized against.
-	Cores int `json:"cores"`
-	// Funcs and Blocks summarize the corpus (functions per batch op and
-	// total block count).
-	Funcs   int          `json:"funcs"`
-	Blocks  int          `json:"blocks"`
-	Corpus  []ScaleCase  `json:"corpus"`
-	Results []ScalePoint `json:"results"`
+// ScaleVariant names the sweep-point row variant for a (GOGC, workers)
+// pair — the compare policies match on it.
+func ScaleVariant(gogc string, workers int) string {
+	return fmt.Sprintf("gogc=%s/workers=%d", gogc, workers)
 }
 
 // scalePipeline assembles the measured pipeline: a leading pass clones
@@ -136,39 +108,57 @@ func scalePipeline(tmplOf map[*ir.Func]*ir.Func, opt core.Options) *pipeline.Pip
 	return pipeline.New(append([]pipeline.Pass{clone}, pipeline.OutOfSSA(opt)...)...)
 }
 
-// ScaleTrajectory sweeps ScaleWorkers × ScaleGOGC over the corpus with
-// testing.Benchmark and returns the report. The recommended configuration
-// (sharing strategy, linear checks, fast liveness checking) is measured —
-// the trajectory tracks driver scalability, not strategy quality.
-func ScaleTrajectory(scale float64) *ScaleReport {
+// scaleRunner sweeps ScaleWorkers × ScaleGOGC over the corpus with
+// testing.Benchmark. The recommended configuration (sharing strategy,
+// linear checks, fast liveness checking) is measured — the trajectory
+// tracks driver scalability, not strategy quality.
+type scaleRunner struct {
+	scale  float64
+	corpus []ScaleCase
+	dsts   []*ir.Func
+	pl     *pipeline.Pipeline
+	blocks int
+	warm   bool
+}
+
+// ScaleRunner builds the scale trajectory runner at the given scale.
+func ScaleRunner(scale float64) Runner {
 	corpus := ScaleCorpus(scale)
-	rep := &ScaleReport{
-		Scale:  scale,
-		Cores:  runtime.GOMAXPROCS(0),
-		Funcs:  len(corpus),
-		Corpus: corpus,
-	}
+	r := &scaleRunner{scale: scale, corpus: corpus}
 	// Recycled destinations: every op CloneIntos the templates, so the op
 	// measures the steady-state batch pattern, not first-touch allocation.
-	dsts := make([]*ir.Func, len(corpus))
+	r.dsts = make([]*ir.Func, len(corpus))
 	tmplOf := make(map[*ir.Func]*ir.Func, len(corpus))
 	for i := range corpus {
-		rep.Blocks += corpus[i].Blocks
-		dsts[i] = ir.NewFunc("")
-		tmplOf[dsts[i]] = corpus[i].fn
+		r.blocks += corpus[i].Blocks
+		r.dsts[i] = ir.NewFunc("")
+		tmplOf[r.dsts[i]] = corpus[i].fn
 	}
 	opt := core.Options{Strategy: core.Sharing, Linear: true, LiveCheck: true}
-	pl := scalePipeline(tmplOf, opt)
+	r.pl = scalePipeline(tmplOf, opt)
+	return r
+}
+
+func (r *scaleRunner) Trajectory() string { return "scale" }
+func (r *scaleRunner) Scale() float64     { return r.scale }
+
+func (r *scaleRunner) Run(rep *Report) error {
+	rep.SetParam("funcs", formatNum(float64(len(r.corpus))))
+	rep.SetParam("blocks", formatNum(float64(r.blocks)))
 
 	// One untimed warmup batch before any measurement: the first batch ever
 	// run maps every recycled arena and grows the runtime heap to its
 	// steady state. Without it the first sweep point (1 worker, first GOGC
 	// row) would absorb that one-time cost, inflating its ns/op — and with
 	// it the apparent speedup of every later point in its row.
-	if err := pipeline.RunBatch(context.Background(), dsts, pl, 0).Err(); err != nil {
-		panic("bench: scale warmup: " + err.Error())
+	if !r.warm {
+		if err := pipeline.RunBatch(context.Background(), r.dsts, r.pl, 0).Err(); err != nil {
+			return fmt.Errorf("scale warmup: %w", err)
+		}
+		r.warm = true
 	}
 
+	cores := runtime.GOMAXPROCS(0)
 	origGC := debug.SetGCPercent(100)
 	defer debug.SetGCPercent(origGC)
 	for _, gc := range ScaleGOGC {
@@ -177,16 +167,16 @@ func ScaleTrajectory(scale float64) *ScaleReport {
 		for _, w := range ScaleWorkers {
 			runtime.GC() // level the heap between points, GOGC=off included
 			workers := w
-			r := testing.Benchmark(func(b *testing.B) {
+			res := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					res := pipeline.RunBatch(context.Background(), dsts, pl, workers)
-					if err := res.Err(); err != nil {
+					br := pipeline.RunBatch(context.Background(), r.dsts, r.pl, workers)
+					if err := br.Err(); err != nil {
 						b.Fatal(err)
 					}
 				}
 			})
-			ns := float64(r.NsPerOp())
+			ns := float64(res.NsPerOp())
 			if w == ScaleWorkers[0] {
 				base = ns
 			}
@@ -194,83 +184,14 @@ func ScaleTrajectory(scale float64) *ScaleReport {
 			if ns > 0 {
 				speed = base / ns
 			}
-			avail := w
-			if rep.Cores < avail {
-				avail = rep.Cores
-			}
-			rep.Results = append(rep.Results, ScalePoint{
-				Workers:     w,
-				GOGC:        gc.Name,
-				NsPerOp:     ns,
-				AllocsPerOp: r.AllocsPerOp(),
-				BytesPerOp:  r.AllocedBytesPerOp(),
-				Speedup:     speed,
-				Efficiency:  speed / float64(avail),
-			})
+			avail := min(w, cores)
+			variant := ScaleVariant(gc.Name, w)
+			rep.Sample("batch", variant, "ns_per_op", ns)
+			rep.Sample("batch", variant, "allocs_per_op", float64(res.AllocsPerOp()))
+			rep.Sample("batch", variant, "bytes_per_op", float64(res.AllocedBytesPerOp()))
+			rep.Sample("batch", variant, "speedup", speed)
+			rep.Sample("batch", variant, "efficiency", speed/float64(avail))
 		}
 	}
-	return rep
-}
-
-// WriteJSON writes the report as indented JSON.
-func (rep *ScaleReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// ReadScaleReport parses a BENCH_scale.json payload.
-func ReadScaleReport(r io.Reader) (*ScaleReport, error) {
-	rep := &ScaleReport{}
-	if err := json.NewDecoder(r).Decode(rep); err != nil {
-		return nil, fmt.Errorf("bench: parsing scale report: %w", err)
-	}
-	return rep, nil
-}
-
-// FormatScale renders the trajectory as a table: one row per (GOGC,
-// workers) point with the speedup-vs-cores curve.
-func FormatScale(rep *ScaleReport) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "Scale trajectory (scale %g): %d funcs, %d blocks per batch op, %d cores\n",
-		rep.Scale, rep.Funcs, rep.Blocks, rep.Cores)
-	fmt.Fprintf(&b, "%-6s %8s %12s %12s %8s %11s\n",
-		"gogc", "workers", "ns/op", "allocs/op", "speedup", "efficiency")
-	last := ""
-	for _, p := range rep.Results {
-		if p.GOGC != last && last != "" {
-			fmt.Fprintln(&b)
-		}
-		last = p.GOGC
-		fmt.Fprintf(&b, "%-6s %8d %12.0f %12d %7.2fx %11.2f\n",
-			p.GOGC, p.Workers, p.NsPerOp, p.AllocsPerOp, p.Speedup, p.Efficiency)
-	}
-	return b.String()
-}
-
-// CheckScaleEfficiency is the scalability gate: at the atWorkers sweep
-// point, every GOGC row's parallel efficiency must be at least min
-// (atWorkers 8 and min 0.6 are the CI defaults; both are tunable). It
-// returns one message per violation — empty means the gate passes — and
-// complains if the report has no measurement at atWorkers, so a shrunken
-// sweep cannot silently pass.
-func CheckScaleEfficiency(rep *ScaleReport, atWorkers int, min float64) []string {
-	var violations []string
-	found := false
-	for _, p := range rep.Results {
-		if p.Workers != atWorkers {
-			continue
-		}
-		found = true
-		if p.Efficiency < min {
-			violations = append(violations, fmt.Sprintf(
-				"gogc=%s workers=%d: parallel efficiency %.2f below the %.2f floor (speedup %.2fx on %d cores)",
-				p.GOGC, p.Workers, p.Efficiency, min, p.Speedup, rep.Cores))
-		}
-	}
-	if !found {
-		violations = append(violations, fmt.Sprintf(
-			"no measurement at %d workers — the sweep must include the gated point", atWorkers))
-	}
-	return violations
+	return nil
 }

@@ -1,7 +1,6 @@
 package bench
 
 import (
-	"bytes"
 	"strings"
 	"testing"
 )
@@ -32,38 +31,10 @@ func TestScaleCorpusDeterministic(t *testing.T) {
 	}
 }
 
-// TestCheckScaleEfficiency exercises the gate on handcrafted reports: a
-// healthy curve passes, a collapsed one fails with a message naming the
-// offending row, and a sweep missing the gated point is itself a
-// violation.
-func TestCheckScaleEfficiency(t *testing.T) {
-	rep := &ScaleReport{
-		Cores: 8,
-		Results: []ScalePoint{
-			{Workers: 1, GOGC: "100", Speedup: 1.0, Efficiency: 1.0},
-			{Workers: 8, GOGC: "100", Speedup: 6.4, Efficiency: 0.8},
-			{Workers: 8, GOGC: "off", Speedup: 5.6, Efficiency: 0.7},
-		},
-	}
-	if v := CheckScaleEfficiency(rep, 8, 0.6); len(v) != 0 {
-		t.Fatalf("healthy report failed the gate: %v", v)
-	}
-
-	rep.Results[2].Efficiency = 0.31
-	v := CheckScaleEfficiency(rep, 8, 0.6)
-	if len(v) != 1 || !strings.Contains(v[0], "gogc=off") {
-		t.Fatalf("collapsed row not reported: %v", v)
-	}
-
-	if v := CheckScaleEfficiency(rep, 16, 0.6); len(v) != 1 || !strings.Contains(v[0], "no measurement") {
-		t.Fatalf("missing sweep point not reported: %v", v)
-	}
-}
-
-// TestScaleTrajectorySmoke runs a shrunken sweep end to end: every
-// (workers, GOGC) point is measured, speedups are computed against the
-// 1-worker row of the same GOGC setting, and the report round-trips
-// through its JSON encoding.
+// TestScaleTrajectorySmoke runs a shrunken sweep end to end through the
+// shared Runner path: every (workers, GOGC) point lands as an envelope
+// row, speedups are computed against the 1-worker point of the same GOGC
+// setting, and the corpus shape lands in the params.
 func TestScaleTrajectorySmoke(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs testing.Benchmark sweeps")
@@ -72,35 +43,33 @@ func TestScaleTrajectorySmoke(t *testing.T) {
 	ScaleWorkers, ScaleGOGC = []int{1, 2}, []ScaleGC{{"100", 100}}
 	t.Cleanup(func() { ScaleWorkers, ScaleGOGC = oldW, oldGC })
 
-	rep := ScaleTrajectory(0.02)
-	if rep.Cores < 1 || rep.Funcs != len(rep.Corpus) || rep.Blocks <= 0 {
-		t.Fatalf("malformed report header: %+v", rep)
-	}
-	if len(rep.Results) != 2 {
-		t.Fatalf("want 2 sweep points, got %d", len(rep.Results))
-	}
-	for _, p := range rep.Results {
-		if p.NsPerOp <= 0 || p.Speedup <= 0 || p.Efficiency <= 0 {
-			t.Fatalf("unmeasured point: %+v", p)
-		}
-	}
-	if rep.Results[0].Workers != 1 || rep.Results[0].Speedup != 1.0 {
-		t.Fatalf("first point must be the 1-worker baseline: %+v", rep.Results[0])
-	}
-
-	var buf bytes.Buffer
-	if err := rep.WriteJSON(&buf); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadScaleReport(&buf)
+	rep, err := Measure(ScaleRunner(0.02), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back.Cores != rep.Cores || len(back.Results) != len(rep.Results) ||
-		back.Results[1] != rep.Results[1] {
-		t.Fatalf("JSON round-trip lost data:\nwrote %+v\nread  %+v", rep.Results, back.Results)
+	if rep.Trajectory != "scale" || rep.Env.NumCPU < 1 {
+		t.Fatalf("malformed envelope header: %+v", rep)
 	}
-	if !strings.Contains(FormatScale(rep), "workers") {
-		t.Fatal("FormatScale lost its header")
+	if rep.Params["funcs"] == "" || rep.Params["blocks"] == "" {
+		t.Fatalf("corpus shape missing from params: %v", rep.Params)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("want 2 sweep points, got %d", len(rep.Rows))
+	}
+	for i := range rep.Rows {
+		row := &rep.Rows[i]
+		for _, name := range []string{"ns_per_op", "speedup", "efficiency"} {
+			m := row.Metric(name)
+			if m == nil || m.Median() <= 0 {
+				t.Fatalf("unmeasured %s at %s/%s: %+v", name, row.Case, row.Variant, row.Metrics)
+			}
+		}
+	}
+	base := rep.Row("batch", ScaleVariant("100", 1))
+	if got := base.Metric("speedup").Median(); got != 1.0 {
+		t.Fatalf("1-worker baseline speedup = %v, want 1.0", got)
+	}
+	if !strings.Contains(FormatReport(rep), "workers=2") {
+		t.Fatal("FormatReport lost the sweep variant")
 	}
 }

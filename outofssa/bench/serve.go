@@ -1,11 +1,6 @@
 package bench
 
-import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"strings"
-)
+import "fmt"
 
 // ------------------------------------------------ Serving-latency trajectory
 //
@@ -13,122 +8,63 @@ import (
 // drives ssad (or an in-process server over loopback HTTP — same wire
 // path, reproducible in CI) at a sweep of offered-load points and records
 // client-observed throughput and latency quantiles per point. Unlike the
-// other trajectories this one is produced by the load generator, not by
-// testing.Benchmark; this file owns the report shape, the human-readable
-// table, and the smoke gate CI runs on the artifact (BENCH_serve.json).
+// testing.Benchmark trajectories this one is produced by the load
+// generator, which folds each measured point into the shared report
+// envelope via AddServePoint (one row per offered-load level, variant
+// "clients=N"). The smoke gate the old ad-hoc checker applied — every
+// point completed requests, nothing hard-failed, latency quantiles
+// coherent — is now the serve compare policies; 429s are legal (load
+// shedding under offered overload is the design working, not a failure).
 
-// ServePoint is one offered-load measurement: Clients concurrent closed-loop
-// clients issuing requests back to back for the point's duration.
+// ServePoint is one offered-load measurement: Clients concurrent
+// closed-loop clients issuing requests back to back for the point's
+// duration.
 type ServePoint struct {
 	// Clients is the offered load: concurrent closed-loop clients.
-	Clients int `json:"clients"`
+	Clients int
 	// Requests/Failures/Overloaded count completed requests, hard failures
 	// (transport or non-2xx other than 429), and 429 load-shed responses.
-	Requests   int64 `json:"requests"`
-	Failures   int64 `json:"failures"`
-	Overloaded int64 `json:"overloaded"`
+	Requests   int64
+	Failures   int64
+	Overloaded int64
 	// Funcs counts functions translated across the point's requests.
-	Funcs int64 `json:"funcs"`
+	Funcs int64
 	// DurationSec is the measured wall clock of the point.
-	DurationSec float64 `json:"duration_sec"`
+	DurationSec float64
 	// RequestsPerSec and FuncsPerSec are the point's throughput.
-	RequestsPerSec float64 `json:"requests_per_sec"`
-	FuncsPerSec    float64 `json:"funcs_per_sec"`
+	RequestsPerSec float64
+	FuncsPerSec    float64
 	// Client-observed request latency quantiles, microseconds.
-	P50Micros  float64 `json:"p50_us"`
-	P90Micros  float64 `json:"p90_us"`
-	P99Micros  float64 `json:"p99_us"`
-	MeanMicros float64 `json:"mean_us"`
-	MaxMicros  float64 `json:"max_us"`
+	P50Micros  float64
+	P90Micros  float64
+	P99Micros  float64
+	MeanMicros float64
+	MaxMicros  float64
 }
 
-// ServeReport is the BENCH_serve.json payload.
-type ServeReport struct {
-	// Addr records what was driven: an external daemon's address, or
-	// "self-hosted" for the in-process loopback server.
-	Addr string `json:"addr"`
-	// Mode is "translate" (one function per request) or "batch" (Batch
-	// functions per request, NDJSON streaming).
-	Mode  string `json:"mode"`
-	Batch int    `json:"batch,omitempty"`
-	// Strategy is the per-request coalescing strategy driven.
-	Strategy string `json:"strategy"`
-	// CorpusFuncs is the number of distinct functions cycled through.
-	CorpusFuncs int `json:"corpus_funcs"`
-	// Workers/InFlight record the driven server's capacity knobs when
-	// self-hosted (0 = that server's GOMAXPROCS default).
-	Workers  int `json:"workers"`
-	InFlight int `json:"in_flight"`
-	// Cores is the load generator's GOMAXPROCS at measurement time.
-	Cores  int          `json:"cores"`
-	Points []ServePoint `json:"points"`
-}
+// ServeVariant names the row variant for an offered-load level.
+func ServeVariant(clients int) string { return fmt.Sprintf("clients=%d", clients) }
 
-// WriteJSON writes the report as indented JSON.
-func (rep *ServeReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// ReadServeReport reads a report written by WriteJSON.
-func ReadServeReport(r io.Reader) (*ServeReport, error) {
-	var rep ServeReport
-	if err := json.NewDecoder(r).Decode(&rep); err != nil {
-		return nil, fmt.Errorf("bench: reading serve report: %w", err)
+// AddServePoint folds one measured load point into the envelope as the
+// row ("load", "clients=N"). quantiles_coherent encodes the structural
+// smoke check (0 < p50 ≤ p90 ≤ p99 ≤ max) as a gateable 0/1 metric.
+func AddServePoint(rep *Report, p ServePoint) {
+	variant := ServeVariant(p.Clients)
+	coherent := 0.0
+	if p.P50Micros > 0 && p.P50Micros <= p.P90Micros &&
+		p.P90Micros <= p.P99Micros && p.P99Micros <= p.MaxMicros {
+		coherent = 1
 	}
-	return &rep, nil
-}
-
-// FormatServe renders the human-readable table.
-func FormatServe(rep *ServeReport) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "serving-latency trajectory: %s, mode %s", rep.Addr, rep.Mode)
-	if rep.Mode == "batch" {
-		fmt.Fprintf(&b, " (%d funcs/request)", rep.Batch)
-	}
-	fmt.Fprintf(&b, ", strategy %s, corpus %d funcs, %d cores\n",
-		rep.Strategy, rep.CorpusFuncs, rep.Cores)
-	fmt.Fprintf(&b, "%8s  %10s  %10s  %8s  %10s  %10s  %10s  %6s  %6s\n",
-		"clients", "req/s", "funcs/s", "requests", "p50(us)", "p90(us)", "p99(us)", "429s", "fails")
-	for i := range rep.Points {
-		p := &rep.Points[i]
-		fmt.Fprintf(&b, "%8d  %10.1f  %10.1f  %8d  %10.1f  %10.1f  %10.1f  %6d  %6d\n",
-			p.Clients, p.RequestsPerSec, p.FuncsPerSec, p.Requests,
-			p.P50Micros, p.P90Micros, p.P99Micros, p.Overloaded, p.Failures)
-	}
-	return b.String()
-}
-
-// CheckServe is the smoke gate CI runs on a fresh trajectory: every point
-// completed requests, nothing hard-failed, and the latency quantiles are
-// coherent (p50 ≤ p90 ≤ p99 ≤ max, all positive). 429s are legal — load
-// shedding under offered overload is the design working, not a failure.
-func CheckServe(rep *ServeReport) []string {
-	var violations []string
-	if len(rep.Points) == 0 {
-		return []string{"no measured points"}
-	}
-	for i := range rep.Points {
-		p := &rep.Points[i]
-		bad := func(format string, args ...any) {
-			violations = append(violations,
-				fmt.Sprintf("clients=%d: %s", p.Clients, fmt.Sprintf(format, args...)))
-		}
-		if p.Requests <= 0 {
-			bad("no completed requests")
-			continue
-		}
-		if p.Failures > 0 {
-			bad("%d hard-failed requests", p.Failures)
-		}
-		if p.P50Micros <= 0 {
-			bad("nonpositive p50 %.1fus", p.P50Micros)
-		}
-		if p.P50Micros > p.P90Micros || p.P90Micros > p.P99Micros || p.P99Micros > p.MaxMicros {
-			bad("incoherent quantiles p50=%.1f p90=%.1f p99=%.1f max=%.1f",
-				p.P50Micros, p.P90Micros, p.P99Micros, p.MaxMicros)
-		}
-	}
-	return violations
+	rep.Sample("load", variant, "requests", float64(p.Requests))
+	rep.Sample("load", variant, "failures", float64(p.Failures))
+	rep.Sample("load", variant, "overloaded", float64(p.Overloaded))
+	rep.Sample("load", variant, "funcs", float64(p.Funcs))
+	rep.Sample("load", variant, "requests_per_sec", p.RequestsPerSec)
+	rep.Sample("load", variant, "funcs_per_sec", p.FuncsPerSec)
+	rep.Sample("load", variant, "p50_us", p.P50Micros)
+	rep.Sample("load", variant, "p90_us", p.P90Micros)
+	rep.Sample("load", variant, "p99_us", p.P99Micros)
+	rep.Sample("load", variant, "mean_us", p.MeanMicros)
+	rep.Sample("load", variant, "max_us", p.MaxMicros)
+	rep.Sample("load", variant, "quantiles_coherent", coherent)
 }

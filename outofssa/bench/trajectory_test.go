@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeRunner appends deterministic and pass-varying samples so Measure's
+// accumulation behaviour is observable.
+type fakeRunner struct{ passes int }
+
+func (r *fakeRunner) Trajectory() string { return "translate" }
+func (r *fakeRunner) Scale() float64     { return 0.05 }
+func (r *fakeRunner) Run(rep *Report) error {
+	r.passes++
+	rep.SetParam("cases", "1")
+	rep.Sample("c1", "pooled", "copies_remaining", 7)                  // deterministic
+	rep.Sample("c1", "pooled", "ns_per_op", float64(100+10*r.passes)) // varying
+	return nil
+}
+
+// TestMeasureAccumulatesSamples: -count N drives N passes and each metric
+// cell collects one sample per pass, under a single (case, variant) row.
+func TestMeasureAccumulatesSamples(t *testing.T) {
+	r := &fakeRunner{}
+	rep, err := Measure(r, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.passes != 3 || rep.Count != 3 {
+		t.Fatalf("passes=%d count=%d, want 3/3", r.passes, rep.Count)
+	}
+	if rep.Trajectory != "translate" || rep.Scale != 0.05 {
+		t.Fatalf("envelope header: %+v", rep)
+	}
+	if len(rep.Rows) != 1 {
+		t.Fatalf("repeat passes must reuse the row, got %d rows", len(rep.Rows))
+	}
+	row := rep.Row("c1", "pooled")
+	det := row.Metric("copies_remaining")
+	if len(det.Samples) != 3 || det.Median() != 7 {
+		t.Fatalf("deterministic metric: %+v", det)
+	}
+	timed := row.Metric("ns_per_op")
+	if len(timed.Samples) != 3 || timed.Median() != 120 {
+		t.Fatalf("timed metric: %+v", timed)
+	}
+}
+
+// TestReportJSONRoundTrip: the envelope round-trips through its JSON
+// encoding — the committed BENCH_*.json format — with env and params
+// intact, and ReadReport rejects future schemas and anonymous envelopes.
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Measure(&fakeRunner{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Schema != SchemaVersion || back.Trajectory != rep.Trajectory ||
+		back.Env.MachineShape() != rep.Env.MachineShape() ||
+		back.Params["cases"] != "1" || len(back.Rows) != len(rep.Rows) {
+		t.Fatalf("round trip lost data:\nwrote %+v\nread  %+v", rep, back)
+	}
+	got := back.Row("c1", "pooled").Metric("ns_per_op")
+	want := rep.Row("c1", "pooled").Metric("ns_per_op")
+	if len(got.Samples) != len(want.Samples) || got.Median() != want.Median() {
+		t.Fatalf("samples lost: %+v vs %+v", got, want)
+	}
+
+	if _, err := ReadReport(strings.NewReader(fmt.Sprintf(`{"schema": %d, "trajectory": "x"}`, SchemaVersion+1))); err == nil {
+		t.Fatal("future schema must be rejected")
+	}
+	if _, err := ReadReport(strings.NewReader(`{"schema": 1}`)); err == nil {
+		t.Fatal("a report naming no trajectory must be rejected")
+	}
+}
+
+// TestCaptureEnvRecordsMachineShape: the uniform metadata fields the
+// compare gate keys on are all populated.
+func TestCaptureEnvRecordsMachineShape(t *testing.T) {
+	e := CaptureEnv()
+	if e.GoVersion == "" || e.OS == "" || e.Arch == "" || e.Timestamp == "" {
+		t.Fatalf("unpopulated env: %+v", e)
+	}
+	if e.NumCPU < 1 || e.GOMAXPROCS < 1 || e.GOGC == 0 {
+		t.Fatalf("machine shape fields missing: %+v", e)
+	}
+	shape := e.MachineShape()
+	for _, part := range []string{e.OS, "cpus=", "gomaxprocs=", "gogc="} {
+		if !strings.Contains(shape, part) {
+			t.Fatalf("machine shape %q misses %q", shape, part)
+		}
+	}
+}
+
+// TestMedian covers odd, even, single, and empty sample sets.
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		in   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.in); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+// TestMetricInfo: registered metrics keep their direction and sensitivity;
+// unknown ones get the conservative default.
+func TestMetricInfo(t *testing.T) {
+	if d := MetricInfo("ns_per_op"); d.Better != LowerIsBetter || !d.MachineSensitive {
+		t.Fatalf("ns_per_op: %+v", d)
+	}
+	if d := MetricInfo("allocs_per_op"); d.Better != LowerIsBetter || d.MachineSensitive {
+		t.Fatalf("allocs_per_op must be machine-neutral: %+v", d)
+	}
+	if d := MetricInfo("warm_speedup"); d.Better != HigherIsBetter {
+		t.Fatalf("warm_speedup: %+v", d)
+	}
+	if d := MetricInfo("never_heard_of_it"); d.Better != LowerIsBetter || !d.MachineSensitive {
+		t.Fatalf("unknown metric must default conservatively: %+v", d)
+	}
+}
+
+// TestFormatReport: the uniform table carries the header, params, spreads
+// for varying metrics, and no spread for deterministic ones.
+func TestFormatReport(t *testing.T) {
+	rep, err := Measure(&fakeRunner{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatReport(rep)
+	for _, want := range []string{"translate trajectory", "count 3", "cases=1", "copies_remaining=7", "ns_per_op=120(±10)"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestServePointFoldsIntoEnvelope: the serve adapter emits one row per
+// load point with the latency quantiles and the coherence verdict.
+func TestServePointFoldsIntoEnvelope(t *testing.T) {
+	rep := NewReport("serve", 1)
+	AddServePoint(rep, ServePoint{
+		Clients: 4, Requests: 100, Funcs: 400, DurationSec: 2,
+		RequestsPerSec: 50, FuncsPerSec: 200,
+		P50Micros: 10, P90Micros: 20, P99Micros: 30, MeanMicros: 12, MaxMicros: 40,
+	})
+	row := rep.Row("load", ServeVariant(4))
+	if m := row.Metric("quantiles_coherent"); m == nil || m.Median() != 1 {
+		t.Fatalf("coherent quantiles must score 1: %+v", row.Metrics)
+	}
+	if m := row.Metric("requests"); m == nil || m.Median() != 100 {
+		t.Fatalf("requests lost: %+v", row.Metrics)
+	}
+
+	// Inverted quantiles flunk the coherence verdict.
+	rep2 := NewReport("serve", 1)
+	AddServePoint(rep2, ServePoint{
+		Clients: 1, Requests: 10, P50Micros: 30, P90Micros: 20, P99Micros: 10, MaxMicros: 40,
+	})
+	if m := rep2.Row("load", ServeVariant(1)).Metric("quantiles_coherent"); m.Median() != 0 {
+		t.Fatal("inverted quantiles must score 0")
+	}
+}

@@ -1,10 +1,6 @@
 package bench
 
 import (
-	"encoding/json"
-	"fmt"
-	"io"
-	"strings"
 	"testing"
 
 	"repro/internal/cfggen"
@@ -21,19 +17,17 @@ import (
 //
 //   - "pooled": ir.CloneInto into a recycled destination plus
 //     core.TranslateInto with one reused core.Scratch — the production
-//     path, where the mutation phases perform no steady-state allocation
-//     (slab-allocated instructions/variables/operands, recycled insertion
-//     carriers, epoch-stamped sequentializer tables, pooled congruence
-//     member lists);
+//     path, where the mutation phases perform no steady-state allocation;
 //   - "reference": ir.Clone plus core.Translate under
 //     Options.ReferenceAlloc — the pre-pooling allocation behavior, kept
 //     alive as a fixed baseline exactly like the liveness and coalescing
 //     trajectories' reference engines.
 //
 // Both engines produce byte-identical code (a differential test asserts
-// it); the trajectory isolates allocation and time, not quality. Results
-// are recorded as BENCH_translate.json per CI run, and CI gates on the
-// pooled rows' allocs/op against the committed baseline.
+// it); the trajectory isolates allocation and time, not quality. Rows are
+// keyed case × "strategy/engine"; the pooled rows' allocs_per_op is gated
+// at +20% against the stored baseline by the compare policies, and
+// copies_remaining is a zero-regress quality gate.
 
 // TranslateCase is one corpus entry of the translate trajectory: a pristine
 // SSA function the benchmark repeatedly clones and translates.
@@ -76,37 +70,6 @@ func TranslateCorpus(scale float64) []TranslateCase {
 // directly).
 func (c *TranslateCase) Func() *ir.Func { return c.fn }
 
-// TranslateResultRow is one (case, strategy, engine) measurement.
-type TranslateResultRow struct {
-	Case     string `json:"case"`
-	Strategy string `json:"strategy"`
-	Engine   string `json:"engine"` // "pooled" or "reference"
-	// NsPerOp, AllocsPerOp and BytesPerOp come from testing.Benchmark; one
-	// op is one clone+translate of the case's function.
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	// RemainingCopies and FinalCopies summarize one run's output —
-	// identical across engines (the differential test enforces it).
-	RemainingCopies int `json:"remaining_copies"`
-	FinalCopies     int `json:"final_copies"`
-}
-
-// TranslateReport is the BENCH_translate.json payload.
-type TranslateReport struct {
-	Scale   float64              `json:"scale"`
-	Corpus  []TranslateCase      `json:"corpus"`
-	Results []TranslateResultRow `json:"results"`
-}
-
-var translateEngines = []struct {
-	name      string
-	reference bool
-}{
-	{"pooled", false},
-	{"reference", true},
-}
-
 // translateOnce runs one pooled op outside timing, for the output columns
 // (identical across engines — TestTranslateEnginesAgree enforces it).
 func translateOnce(c *TranslateCase, opt core.Options) *core.Stats {
@@ -120,141 +83,71 @@ func translateOnce(c *TranslateCase, opt core.Options) *core.Stats {
 	return st
 }
 
-// TranslateTrajectory measures every case × Figure 5 strategy × engine
-// combination with testing.Benchmark and returns the report.
-func TranslateTrajectory(scale float64) *TranslateReport {
-	corpus := TranslateCorpus(scale)
-	rep := &TranslateReport{Scale: scale, Corpus: corpus}
-	for i := range corpus {
-		c := &corpus[i]
+// translateRunner measures every case × Figure 5 strategy × engine
+// combination with testing.Benchmark.
+type translateRunner struct {
+	scale  float64
+	corpus []TranslateCase
+}
+
+// TranslateRunner builds the translate trajectory runner at the given
+// scale.
+func TranslateRunner(scale float64) Runner {
+	return &translateRunner{scale: scale, corpus: TranslateCorpus(scale)}
+}
+
+func (r *translateRunner) Trajectory() string { return "translate" }
+func (r *translateRunner) Scale() float64     { return r.scale }
+
+func (r *translateRunner) Run(rep *Report) error {
+	rep.SetParam("cases", formatNum(float64(len(r.corpus))))
+	for i := range r.corpus {
+		c := &r.corpus[i]
 		for _, s := range core.Strategies {
 			opt := fig5Options(s)
 			// One untimed run fills the output columns for both engine rows:
 			// the engines emit identical code (TestTranslateEnginesAgree).
 			st := translateOnce(c, opt)
-			for _, eng := range translateEngines {
-				var r testing.BenchmarkResult
-				if eng.reference {
-					refOpt := opt
-					refOpt.ReferenceAlloc = true
-					r = testing.Benchmark(func(b *testing.B) {
-						b.ReportAllocs()
-						for i := 0; i < b.N; i++ {
-							if _, err := core.Translate(ir.Clone(c.fn), refOpt); err != nil {
-								b.Fatal(err)
-							}
-						}
-					})
-				} else {
-					sc := core.NewScratch()
-					dst := ir.NewFunc("")
-					r = testing.Benchmark(func(b *testing.B) {
-						b.ReportAllocs()
-						for i := 0; i < b.N; i++ {
-							ir.CloneInto(dst, c.fn)
-							if _, err := core.TranslateInto(dst, opt, nil, sc); err != nil {
-								b.Fatal(err)
-							}
-						}
-					})
+
+			refOpt := opt
+			refOpt.ReferenceAlloc = true
+			ref := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Translate(ir.Clone(c.fn), refOpt); err != nil {
+						b.Fatal(err)
+					}
 				}
-				rep.Results = append(rep.Results, TranslateResultRow{
-					Case:            c.Name,
-					Strategy:        s.String(),
-					Engine:          eng.name,
-					NsPerOp:         float64(r.NsPerOp()),
-					AllocsPerOp:     r.AllocsPerOp(),
-					BytesPerOp:      r.AllocedBytesPerOp(),
-					RemainingCopies: st.RemainingCopies,
-					FinalCopies:     st.FinalCopies,
-				})
-			}
-		}
-	}
-	return rep
-}
+			})
+			sc := core.NewScratch()
+			dst := ir.NewFunc("")
+			pooled := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					ir.CloneInto(dst, c.fn)
+					if _, err := core.TranslateInto(dst, opt, nil, sc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
 
-// WriteJSON writes the report as indented JSON.
-func (rep *TranslateReport) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(rep)
-}
-
-// ReadTranslateReport parses a BENCH_translate.json payload.
-func ReadTranslateReport(r io.Reader) (*TranslateReport, error) {
-	rep := &TranslateReport{}
-	if err := json.NewDecoder(r).Decode(rep); err != nil {
-		return nil, fmt.Errorf("bench: parsing translate report: %w", err)
-	}
-	return rep, nil
-}
-
-// FormatTranslate renders the trajectory as a table: one row per case and
-// strategy, pooled vs reference side by side with the speedup and the
-// allocation ratio.
-func FormatTranslate(rep *TranslateReport) string {
-	byKey := map[string]TranslateResultRow{}
-	for _, r := range rep.Results {
-		byKey[r.Case+"/"+r.Strategy+"/"+r.Engine] = r
-	}
-	var b strings.Builder
-	fmt.Fprintf(&b, "Translate trajectory (scale %g): pooled vs reference allocation path\n", rep.Scale)
-	fmt.Fprintf(&b, "%-18s %-12s %10s %10s %7s %11s %11s %7s\n",
-		"case", "strategy", "pool ns/op", "ref ns/op", "speedup", "pool allocs", "ref allocs", "alloc÷")
-	for _, c := range rep.Corpus {
-		for _, s := range core.Strategies {
-			pool, okP := byKey[c.Name+"/"+s.String()+"/pooled"]
-			ref, okR := byKey[c.Name+"/"+s.String()+"/reference"]
-			if !okP || !okR {
-				continue
+			for _, eng := range []struct {
+				name string
+				res  testing.BenchmarkResult
+			}{{"pooled", pooled}, {"reference", ref}} {
+				variant := s.String() + "/" + eng.name
+				rep.Sample(c.Name, variant, "ns_per_op", float64(eng.res.NsPerOp()))
+				rep.Sample(c.Name, variant, "allocs_per_op", float64(eng.res.AllocsPerOp()))
+				rep.Sample(c.Name, variant, "bytes_per_op", float64(eng.res.AllocedBytesPerOp()))
+				rep.Sample(c.Name, variant, "copies_remaining", float64(st.RemainingCopies))
+				rep.Sample(c.Name, variant, "final_copies", float64(st.FinalCopies))
 			}
-			speed, allocR := 0.0, 0.0
-			if pool.NsPerOp > 0 {
-				speed = ref.NsPerOp / pool.NsPerOp
-			}
-			if pool.AllocsPerOp > 0 {
-				allocR = float64(ref.AllocsPerOp) / float64(pool.AllocsPerOp)
-			}
-			fmt.Fprintf(&b, "%-18s %-12s %10.0f %10.0f %6.2fx %11d %11d %6.2fx\n",
-				c.Name, s.String(), pool.NsPerOp, ref.NsPerOp, speed, pool.AllocsPerOp, ref.AllocsPerOp, allocR)
+			variant := s.String() + "/pooled"
+			rep.Sample(c.Name, variant, "speedup",
+				ratio(float64(ref.NsPerOp()), float64(pooled.NsPerOp())))
+			rep.Sample(c.Name, variant, "alloc_ratio",
+				ratio(float64(ref.AllocsPerOp()), float64(pooled.AllocsPerOp())))
 		}
 	}
-	return b.String()
-}
-
-// CheckTranslateAllocs is the allocation-regression gate: every pooled row
-// of cur may allocate at most (1+slack)× the allocs/op of the matching row
-// in the committed baseline. It returns one message per violation (empty
-// means the gate passes); rows absent from the baseline are ignored, so
-// corpus growth does not break CI. The reports must be measured at the
-// same scale.
-func CheckTranslateAllocs(cur, baseline *TranslateReport, slack float64) []string {
-	if cur.Scale != baseline.Scale {
-		return []string{fmt.Sprintf("scale mismatch: current %g, baseline %g — regenerate the baseline",
-			cur.Scale, baseline.Scale)}
-	}
-	base := map[string]TranslateResultRow{}
-	for _, r := range baseline.Results {
-		if r.Engine == "pooled" {
-			base[r.Case+"/"+r.Strategy] = r
-		}
-	}
-	var violations []string
-	for _, r := range cur.Results {
-		if r.Engine != "pooled" {
-			continue
-		}
-		b, ok := base[r.Case+"/"+r.Strategy]
-		if !ok {
-			continue
-		}
-		limit := int64(float64(b.AllocsPerOp) * (1 + slack))
-		if r.AllocsPerOp > limit {
-			violations = append(violations, fmt.Sprintf(
-				"%s/%s: %d allocs/op exceeds baseline %d by more than %.0f%% (limit %d)",
-				r.Case, r.Strategy, r.AllocsPerOp, b.AllocsPerOp, slack*100, limit))
-		}
-	}
-	return violations
+	return nil
 }

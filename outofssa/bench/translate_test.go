@@ -1,8 +1,6 @@
 package bench
 
 import (
-	"bytes"
-	"strings"
 	"testing"
 
 	"repro/internal/core"
@@ -62,69 +60,5 @@ func TestTranslateEnginesAgree(t *testing.T) {
 					stP.RemainingCopies, stP.FinalCopies, stR.RemainingCopies, stR.FinalCopies)
 			}
 		}
-	}
-}
-
-// TestTranslateReportRoundTripAndGate: the JSON payload round-trips, the
-// formatter covers every (case, strategy) pair, and the allocation gate
-// flags regressions beyond the slack but tolerates noise within it.
-func TestTranslateReportRoundTrip(t *testing.T) {
-	rep := &TranslateReport{
-		Scale: 0.05,
-		Corpus: []TranslateCase{
-			{Name: "c1", Blocks: 10, Vars: 20, Phis: 3},
-		},
-		Results: []TranslateResultRow{
-			{Case: "c1", Strategy: "Value", Engine: "pooled", NsPerOp: 100, AllocsPerOp: 50, BytesPerOp: 1000},
-			{Case: "c1", Strategy: "Value", Engine: "reference", NsPerOp: 200, AllocsPerOp: 500, BytesPerOp: 9000},
-		},
-	}
-	var buf bytes.Buffer
-	if err := rep.WriteJSON(&buf); err != nil {
-		t.Fatal(err)
-	}
-	back, err := ReadTranslateReport(&buf)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if back.Scale != rep.Scale || len(back.Results) != len(rep.Results) {
-		t.Fatalf("round trip lost data: %+v", back)
-	}
-	if s := FormatTranslate(rep); !strings.Contains(s, "c1") || !strings.Contains(s, "Value") {
-		t.Fatalf("formatter misses rows:\n%s", s)
-	}
-}
-
-func TestCheckTranslateAllocs(t *testing.T) {
-	base := &TranslateReport{Scale: 0.05, Results: []TranslateResultRow{
-		{Case: "c1", Strategy: "Value", Engine: "pooled", AllocsPerOp: 100},
-		{Case: "c1", Strategy: "Value", Engine: "reference", AllocsPerOp: 1000},
-	}}
-	cur := func(allocs int64) *TranslateReport {
-		return &TranslateReport{Scale: 0.05, Results: []TranslateResultRow{
-			{Case: "c1", Strategy: "Value", Engine: "pooled", AllocsPerOp: allocs},
-			// Reference rows never gate, however much they allocate.
-			{Case: "c1", Strategy: "Value", Engine: "reference", AllocsPerOp: 5000},
-		}}
-	}
-	if v := CheckTranslateAllocs(cur(110), base, 0.20); len(v) != 0 {
-		t.Fatalf("within slack, got violations %v", v)
-	}
-	if v := CheckTranslateAllocs(cur(121), base, 0.20); len(v) != 1 {
-		t.Fatalf("beyond slack, got %v", v)
-	}
-	// New rows without a baseline pass (corpus growth must not break CI).
-	grown := cur(100)
-	grown.Results = append(grown.Results, TranslateResultRow{
-		Case: "c2", Strategy: "Value", Engine: "pooled", AllocsPerOp: 9999,
-	})
-	if v := CheckTranslateAllocs(grown, base, 0.20); len(v) != 0 {
-		t.Fatalf("unbaselined rows must pass, got %v", v)
-	}
-	// A scale mismatch is reported instead of silently comparing.
-	off := cur(100)
-	off.Scale = 0.1
-	if v := CheckTranslateAllocs(off, base, 0.20); len(v) != 1 {
-		t.Fatalf("scale mismatch must be reported, got %v", v)
 	}
 }
