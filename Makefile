@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test vet bench race examples ci figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale bench-serve bench-memo bench-all bench-compare bench-store-list
+.PHONY: build test vet bench race examples ci chaos fuzz figures bench-liveness bench-coalesce bench-translate bench-translate-check bench-scale bench-serve bench-memo bench-all bench-compare bench-store-list
 
 # Scale of the liveness trajectory corpus; CI uses the short default, local
 # runs can pass LIVENESS_SCALE=1 for the full thousands-of-blocks corpus.
@@ -61,6 +61,22 @@ race:
 
 examples:
 	$(GO) build ./examples/...
+
+# Chaos suite: a self-hosted daemon under mixed traffic with seeded
+# failpoints firing in every layer, run under the race detector. CI uses
+# CHAOS_DURATION=15s; the default keeps local runs fast.
+CHAOS_DURATION ?= 2s
+chaos:
+	SSAD_CHAOS_DURATION=$(CHAOS_DURATION) $(GO) test -race -count=1 -run 'TestChaos$$' -v ./outofssa/serve
+
+# Fuzz both targets briefly: the parser (never panic, print/re-parse) and
+# the translate differential oracle (reference vs optimized machinery,
+# interpreter-checked). The committed seed corpus lives in
+# outofssa/testdata/fuzz/.
+FUZZTIME ?= 15s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzParse$$' -fuzztime $(FUZZTIME) ./outofssa
+	$(GO) test -run '^$$' -fuzz 'FuzzTranslate$$' -fuzztime $(FUZZTIME) ./outofssa
 
 figures:
 	$(GO) run ./cmd/ssabench -fig all
@@ -142,4 +158,4 @@ bench-compare:
 bench-store-list:
 	$(GO) run ./cmd/ssabench store list -store $(BENCH_STORE)
 
-ci: vet build test race examples bench-memo
+ci: vet build test race examples chaos bench-memo

@@ -32,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -53,7 +54,10 @@ func main() {
 	workers := flag.Int("workers", 0, "translation workers per /v1/batch request (0 = GOMAXPROCS)")
 	memoEntries := flag.Int("memo-entries", 0, "max entries in the shared translation memo (0 = default 4096, negative disables memoization)")
 	memoBytes := flag.Int64("memo-bytes", 0, "approximate byte budget of the translation memo (0 = default 256 MiB)")
+	memoFile := flag.String("memo-file", "", "persist the translation memo across restarts: load from this file on boot, snapshot to it after drain")
 	drain := flag.Duration("drain", 15*time.Second, "graceful drain window on SIGINT/SIGTERM before in-flight work is aborted")
+	faultSpec := flag.String("faults", "", "arm failpoints, e.g. 'serve.decode=err:0.01,pipeline.outofssa=panic:every=500' (chaos testing; see -faults list)")
+	faultSeed := flag.Int64("faults-seed", 1, "deterministic seed for probabilistic failpoint activations")
 	profileflags.Register()
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: ssad [flags]\n\n")
@@ -61,8 +65,17 @@ func main() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"\nPer-request strategy names (JSON \"strategy\" field or ?strategy=):\n  %s\n",
 			strings.Join(outofssa.StrategyNames(), ", "))
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"\nRegistered failpoints for -faults (name=err|panic|sleep=DUR[:prob|:every=N|:once]):\n  %s\n",
+			strings.Join(outofssa.FaultPoints(), ", "))
 	}
 	flag.Parse()
+	if *faultSpec != "" {
+		if err := outofssa.EnableFaults(*faultSpec, *faultSeed); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("failpoints armed: %s (seed %d)", *faultSpec, *faultSeed)
+	}
 	os.Exit(run(*addr, *admin, serve.Config{
 		MaxInFlight:    *inflight,
 		MaxQueue:       *queue,
@@ -71,12 +84,12 @@ func main() {
 		BatchWorkers:   *workers,
 		MemoEntries:    *memoEntries,
 		MemoBytes:      *memoBytes,
-	}, *drain))
+	}, *drain, *memoFile))
 }
 
 // run owns the daemon's lifetime (and the deferred profile writers, which
 // would be truncated by an os.Exit in main).
-func run(addr, admin string, cfg serve.Config, drain time.Duration) int {
+func run(addr, admin string, cfg serve.Config, drain time.Duration, memoFile string) int {
 	stop, err := profileflags.Start()
 	if err != nil {
 		log.Print(err)
@@ -85,6 +98,13 @@ func run(addr, admin string, cfg serve.Config, drain time.Duration) int {
 	defer stop()
 
 	s := serve.New(cfg)
+	if memoFile != "" {
+		if s.Memo() == nil {
+			log.Print("-memo-file ignored: memoization disabled (-memo-entries < 0)")
+		} else {
+			loadMemo(s, memoFile)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		log.Print(err)
@@ -141,9 +161,63 @@ func run(addr, admin string, cfg serve.Config, drain time.Duration) int {
 	if adminSrv != nil {
 		adminSrv.Close()
 	}
+	// Persist the memo after drain (the snapshot holds the memo lock, so it
+	// must not race live traffic). Even an aborted drain snapshots: the
+	// memo only holds completed translations.
+	if memoFile != "" && s.Memo() != nil {
+		saveMemo(s, memoFile)
+	}
 	if clean {
 		log.Print("drained cleanly")
 		return 0
 	}
 	return 1
+}
+
+// loadMemo warms the server memo from path. A missing file is the normal
+// first boot; anything else damaged is skipped line-by-line by the loader.
+func loadMemo(s *serve.Server, path string) {
+	f, err := os.Open(path)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			log.Printf("memo file %s not found; starting cold", path)
+		} else {
+			log.Printf("memo load: %v (starting cold)", err)
+		}
+		return
+	}
+	defer f.Close()
+	loaded, skipped, err := s.Memo().Load(f)
+	if err != nil {
+		log.Printf("memo load %s: %v (starting cold)", path, err)
+		return
+	}
+	log.Printf("memo restored from %s: %d entries (%d damaged lines skipped)", path, loaded, skipped)
+}
+
+// saveMemo snapshots the memo atomically: write a temp file in the target
+// directory, then rename over path, so a crash mid-write never tears the
+// previous snapshot.
+func saveMemo(s *serve.Server, path string) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp*")
+	if err != nil {
+		log.Printf("memo snapshot: %v", err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	if err := s.Memo().Snapshot(tmp); err != nil {
+		tmp.Close()
+		log.Printf("memo snapshot: %v", err)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		log.Printf("memo snapshot: %v", err)
+		return
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		log.Printf("memo snapshot: %v", err)
+		return
+	}
+	st := s.Memo().Stats()
+	log.Printf("memo snapshot written to %s (%d entries, ~%d bytes retained)", path, st.Entries, st.Bytes)
 }

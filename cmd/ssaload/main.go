@@ -307,6 +307,21 @@ func drive(cl *client.Client, sources []string, mode, strategy string, clients i
 		mu         sync.Mutex
 	)
 	var lats []time.Duration
+	// Shed responses back off through the client's RetryPolicy — the shared
+	// backoff implementation — instead of a loop here. Every 429 still
+	// lands in the overloaded counter via the OnRetry hook (retried) or the
+	// error branch (retries exhausted); the hint cap keeps a saturated
+	// point alive rather than parked on a long server hint.
+	rcl := cl.WithRetry(client.RetryPolicy{
+		MaxAttempts: 4,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    250 * time.Millisecond,
+		OnRetry: func(_ int, err error, _ time.Duration) {
+			if _, ok := client.IsOverloaded(err); ok {
+				overloaded.Add(1)
+			}
+		},
+	})
 	deadline := time.Now().Add(d)
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -323,7 +338,7 @@ func drive(cl *client.Client, sources []string, mode, strategy string, clients i
 				var done int64 = 1
 				if mode == "batch" {
 					var sum *serve.BatchSummary
-					sum, err = cl.Batch(ctx, req, nil)
+					sum, err = rcl.Batch(ctx, req, nil)
 					if err == nil {
 						done = int64(sum.OK)
 						if sum.Failed > 0 {
@@ -331,17 +346,12 @@ func drive(cl *client.Client, sources []string, mode, strategy string, clients i
 						}
 					}
 				} else {
-					_, err = cl.Translate(ctx, req)
+					_, err = rcl.Translate(ctx, req)
 				}
 				lat := time.Since(t0)
 				if err != nil {
-					if ra, ok := client.IsOverloaded(err); ok {
+					if _, ok := client.IsOverloaded(err); ok {
 						overloaded.Add(1)
-						// Honour the hint but keep the point alive.
-						if ra > 250*time.Millisecond {
-							ra = 250 * time.Millisecond
-						}
-						time.Sleep(ra)
 						continue
 					}
 					fails.Add(1)

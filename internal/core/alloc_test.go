@@ -30,6 +30,9 @@ func midSizeFunc(t testing.TB) *ir.Func {
 // exact-size slices on every set union by design (its Figure 7 footprint
 // honesty depends on it).
 func TestTranslateSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race runtime allocations distort AllocsPerRun near the bound")
+	}
 	pristine := midSizeFunc(t)
 	for _, cfg := range []struct {
 		name  string

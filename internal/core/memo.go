@@ -5,7 +5,18 @@ import (
 	"sync"
 
 	"repro/internal/coalesce"
+	"repro/internal/faults"
 	"repro/internal/ir"
+)
+
+// Failpoints. Both degrade gracefully by design: a store fault drops the
+// entry (the translation result is still returned), a materialize fault
+// turns a hit into a miss (the caller translates from scratch). Chaos runs
+// verify that neither corrupts results — the memo is an accelerator, never
+// a correctness dependency.
+var (
+	fpStore       = faults.Register("memo.store")
+	fpMaterialize = faults.Register("memo.materialize")
 )
 
 // Memo is a concurrency-safe, bounded store of completed translations,
@@ -129,6 +140,10 @@ func (m *Memo) Lookup(key MemoKey) *MemoEntry {
 		m.misses++
 		return nil
 	}
+	if err := fpMaterialize.Inject(); err != nil {
+		m.misses++
+		return nil
+	}
 	m.hits++
 	m.lru.MoveToFront(el)
 	return el.Value.(*MemoEntry)
@@ -142,6 +157,9 @@ func (m *Memo) Lookup(key MemoKey) *MemoEntry {
 // refreshes its recency and changes nothing else — concurrent duplicate
 // misses store identical entries, so first-wins is deterministic.
 func (m *Memo) Store(key MemoKey, f *ir.Func, inVars int, st *Stats, statuses []coalesce.Status) {
+	if err := fpStore.Inject(); err != nil {
+		return // injected store fault: drop the entry, keep the result
+	}
 	out := ir.Clone(f)
 	e := &MemoEntry{
 		key:      key,
@@ -153,14 +171,20 @@ func (m *Memo) Store(key MemoKey, f *ir.Func, inVars int, st *Stats, statuses []
 	}
 	e.stats.InsertNanos, e.stats.AnalyzeNanos = 0, 0
 	e.stats.CoalesceNanos, e.stats.RewriteNanos = 0, 0
+	m.install(e)
+}
 
+// install adds a fully-built entry under the memo's bounds: existing keys
+// only get a recency refresh, and the LRU tail is evicted until both
+// budgets hold. Shared by Store and the snapshot loader.
+func (m *Memo) install(e *MemoEntry) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if el, ok := m.entries[key]; ok {
+	if el, ok := m.entries[e.key]; ok {
 		m.lru.MoveToFront(el)
 		return
 	}
-	m.entries[key] = m.lru.PushFront(e)
+	m.entries[e.key] = m.lru.PushFront(e)
 	m.bytes += e.size
 	for (m.maxEntries > 0 && m.lru.Len() > m.maxEntries) ||
 		(m.maxBytes > 0 && m.bytes > m.maxBytes && m.lru.Len() > 1) {

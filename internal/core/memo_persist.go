@@ -1,0 +1,162 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/coalesce"
+	"repro/internal/ir"
+)
+
+// Memo persistence: a versioned NDJSON stream so a daemon restart does not
+// start from a cold memo (the PR 8 follow-up). Line one is the header;
+// every following line is one entry, written oldest→newest so reloading
+// rebuilds the LRU recency order. The format shares the bench/store
+// posture toward corruption: a torn tail or a damaged line is skipped and
+// counted, never fatal — losing one cached translation costs a re-compute,
+// losing the whole file on every crash would make persistence useless.
+//
+// The function payload uses ir.EncodeJSON, not the textual form: Parse
+// assigns VarIDs by first appearance, which can permute the variable
+// universe and silently break Materialize's prefix-identity contract.
+
+// memoFormat/memoVersion identify the snapshot format. Bump the version on
+// any incompatible change; Load rejects mismatches outright (a wrong-format
+// file is operator error, not tail corruption).
+const (
+	memoFormat  = "ssad-memo"
+	memoVersion = 1
+)
+
+type memoHeaderJSON struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Entries int    `json:"entries"`
+}
+
+type memoEntryJSON struct {
+	Key      MemoKey         `json:"key"`
+	InVars   int             `json:"in_vars"`
+	Stats    Stats           `json:"stats"`
+	Statuses []uint8         `json:"statuses,omitempty"`
+	Func     json.RawMessage `json:"func"`
+}
+
+// Snapshot writes every entry to w in the versioned NDJSON form. Entries
+// stream oldest-first so Load restores recency; the memo lock is held for
+// the duration, so snapshot on drain, not under traffic.
+func (m *Memo) Snapshot(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(memoHeaderJSON{Format: memoFormat, Version: memoVersion, Entries: m.lru.Len()}); err != nil {
+		return err
+	}
+	for el := m.lru.Back(); el != nil; el = el.Prev() {
+		e := el.Value.(*MemoEntry)
+		fn, err := ir.EncodeJSON(e.out)
+		if err != nil {
+			return fmt.Errorf("memo snapshot: encode %q: %w", e.out.Name, err)
+		}
+		rec := memoEntryJSON{
+			Key:    e.key,
+			InVars: e.inVars,
+			Stats:  e.stats,
+			Func:   fn,
+		}
+		if len(e.statuses) > 0 {
+			rec.Statuses = make([]uint8, len(e.statuses))
+			for i, s := range e.statuses {
+				rec.Statuses[i] = uint8(s)
+			}
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadSnapshot reads a Snapshot stream into the memo, returning how many
+// entries were installed and how many damaged lines were skipped. A
+// missing or wrong-versioned header is an error; per-line damage (torn
+// tail, corrupted entry, function that fails structural verification) is
+// tolerated and counted. Loaded entries respect the memo's bounds, so
+// loading a snapshot from a larger memo simply evicts from the old tail.
+func (m *Memo) LoadSnapshot(r io.Reader) (loaded, skipped int, err error) {
+	br := bufio.NewReader(r)
+	headerLine, err := readLine(br)
+	if err != nil {
+		return 0, 0, fmt.Errorf("memo load: reading header: %w", err)
+	}
+	var hdr memoHeaderJSON
+	if err := json.Unmarshal(headerLine, &hdr); err != nil {
+		return 0, 0, fmt.Errorf("memo load: bad header: %w", err)
+	}
+	if hdr.Format != memoFormat || hdr.Version != memoVersion {
+		return 0, 0, fmt.Errorf("memo load: format %q v%d, want %q v%d",
+			hdr.Format, hdr.Version, memoFormat, memoVersion)
+	}
+	for {
+		line, rerr := readLine(br)
+		if len(line) > 0 {
+			if e := decodeMemoEntry(line); e != nil {
+				m.install(e)
+				loaded++
+			} else {
+				skipped++
+			}
+		}
+		if rerr == io.EOF {
+			return loaded, skipped, nil
+		}
+		if rerr != nil {
+			return loaded, skipped, rerr
+		}
+	}
+}
+
+// readLine returns the next line without its newline. A final unterminated
+// line comes back alongside io.EOF — the torn-tail case the caller skips.
+func readLine(br *bufio.Reader) ([]byte, error) {
+	line, err := br.ReadBytes('\n')
+	if n := len(line); n > 0 && line[n-1] == '\n' {
+		line = line[:n-1]
+	}
+	return line, err
+}
+
+// decodeMemoEntry parses and validates one snapshot line, returning nil on
+// any damage.
+func decodeMemoEntry(line []byte) *MemoEntry {
+	var rec memoEntryJSON
+	if err := json.Unmarshal(line, &rec); err != nil {
+		return nil
+	}
+	out, err := ir.DecodeJSON(rec.Func)
+	if err != nil {
+		return nil
+	}
+	if rec.InVars < 0 || rec.InVars > len(out.Vars) {
+		return nil
+	}
+	e := &MemoEntry{
+		key:    rec.Key,
+		out:    out,
+		stats:  rec.Stats,
+		inVars: rec.InVars,
+	}
+	e.stats.InsertNanos, e.stats.AnalyzeNanos = 0, 0
+	e.stats.CoalesceNanos, e.stats.RewriteNanos = 0, 0
+	if len(rec.Statuses) > 0 {
+		e.statuses = make([]coalesce.Status, len(rec.Statuses))
+		for i, s := range rec.Statuses {
+			e.statuses[i] = coalesce.Status(s)
+		}
+	}
+	e.size = approxFuncBytes(out) + int64(len(e.statuses))
+	return e
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/faults"
+	"repro/internal/ir"
+)
+
+// translateInto runs the full translation on f under opt, storing into
+// memo, and returns the translated function.
+func translateInto(t *testing.T, memo *Memo, src string, opt Options) *ir.Func {
+	t.Helper()
+	f := ir.MustParse(src)
+	key := MemoKeyFor(f, opt)
+	inVars := len(f.Vars)
+	tr, err := NewTranslation(f, opt, analysis.NewCache(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, phase := range []func() error{tr.Insert, tr.Analyze, tr.Coalesce, tr.Rewrite} {
+		if err := phase(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	memo.Store(key, f, inVars, tr.Stats, tr.CoalesceResult().Statuses)
+	return f
+}
+
+// persistSrc2 differs structurally (extra print), not just by name: memo
+// keys are structural fingerprints, so a rename alone would collide.
+var persistSrc2 = strings.Replace(strings.Replace(persistSrc,
+	"func loop", "func loop2", 1), "print i", "print n\n  print i", 1)
+
+const persistSrc = `
+func loop {
+entry:
+  n = param 0
+  i0 = const 0
+  jump head
+head:
+  i = phi entry:i0 body:i2
+  c = cmplt i n
+  br c body exit
+body:
+  one = const 1
+  i2 = add i one
+  jump head
+exit:
+  print i
+  ret i
+}
+`
+
+func TestMemoSnapshotRoundTrip(t *testing.T) {
+	opt := Options{Strategy: Sharing, Linear: true, LiveCheck: true}
+	src := ir.MustParse(persistSrc)
+
+	memo := NewMemo(16, 0)
+	want := translateInto(t, memo, persistSrc, opt)
+
+	var buf bytes.Buffer
+	if err := memo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewMemo(16, 0)
+	loaded, skipped, err := fresh.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || skipped != 0 {
+		t.Fatalf("loaded %d skipped %d, want 1/0", loaded, skipped)
+	}
+	if st := fresh.Stats(); st.Entries != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats after load: %+v", st)
+	}
+
+	// The reloaded entry must materialize into a fresh parse of the same
+	// input exactly as the original entry would.
+	key := MemoKeyFor(src, opt)
+	e := fresh.Lookup(key)
+	if e == nil {
+		t.Fatal("reloaded memo missed on the original key")
+	}
+	g := ir.MustParse(persistSrc)
+	st, _ := e.Materialize(g, nil)
+	if st.RemainingCopies != 0 && st.Blocks == 0 {
+		t.Fatalf("materialized stats look empty: %+v", st)
+	}
+	if g.String() != want.String() {
+		t.Fatalf("materialized output differs:\n--- got\n%s\n--- want\n%s", g, want)
+	}
+	if len(e.Statuses()) == 0 {
+		t.Fatal("statuses lost in round trip")
+	}
+}
+
+func TestMemoSnapshotRecencyOrder(t *testing.T) {
+	opt := Options{Strategy: Sharing, Linear: true, LiveCheck: true}
+	memo := NewMemo(16, 0)
+	translateInto(t, memo, persistSrc, opt)
+	translateInto(t, memo, persistSrc2, opt)
+
+	var buf bytes.Buffer
+	if err := memo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Reload into a memo that only holds one entry: the newest must win.
+	small := NewMemo(1, 0)
+	loaded, _, err := small.LoadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 2 {
+		t.Fatalf("loaded %d, want 2", loaded)
+	}
+	st := small.Stats()
+	if st.Entries != 1 || st.Evictions != 1 {
+		t.Fatalf("bounded load stats: %+v", st)
+	}
+	f2 := ir.MustParse(persistSrc2)
+	if small.Lookup(MemoKeyFor(f2, opt)) == nil {
+		t.Fatal("newest entry was evicted instead of the oldest")
+	}
+}
+
+func TestMemoLoadToleratesTornTail(t *testing.T) {
+	opt := Options{Strategy: Sharing, Linear: true, LiveCheck: true}
+	memo := NewMemo(16, 0)
+	translateInto(t, memo, persistSrc, opt)
+	translateInto(t, memo, persistSrc2, opt)
+
+	var buf bytes.Buffer
+	if err := memo.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Tear the final line in half, as a crash mid-write would.
+	torn := data[:len(data)-40]
+
+	fresh := NewMemo(16, 0)
+	loaded, skipped, err := fresh.LoadSnapshot(bytes.NewReader(torn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || skipped != 1 {
+		t.Fatalf("loaded %d skipped %d, want 1/1", loaded, skipped)
+	}
+
+	// A corrupted middle line is likewise skipped, not fatal.
+	lines := bytes.Split(bytes.TrimSuffix(data, []byte("\n")), []byte("\n"))
+	lines[1] = []byte(`{"key":{"FPHi":1},"in_vars":99,"func":{"name":"x","blocks":[]}}`)
+	fresh2 := NewMemo(16, 0)
+	loaded, skipped, err = fresh2.LoadSnapshot(bytes.NewReader(append(bytes.Join(lines, []byte("\n")), '\n')))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded != 1 || skipped != 1 {
+		t.Fatalf("corrupt middle: loaded %d skipped %d, want 1/1", loaded, skipped)
+	}
+}
+
+func TestMemoLoadRejectsBadHeader(t *testing.T) {
+	memo := NewMemo(16, 0)
+	for _, in := range []string{
+		"",
+		"not json\n",
+		`{"format":"ssad-memo","version":99}` + "\n",
+		`{"format":"other","version":1}` + "\n",
+	} {
+		if _, _, err := memo.LoadSnapshot(strings.NewReader(in)); err == nil {
+			t.Errorf("LoadSnapshot(%q) succeeded, want header error", in)
+		}
+	}
+}
+
+func TestMemoStoreFailpointDropsEntry(t *testing.T) {
+	defer faults.Disable()
+	if err := faults.Enable("memo.store=err", 1); err != nil {
+		t.Fatal(err)
+	}
+	opt := Options{Strategy: Sharing, Linear: true, LiveCheck: true}
+	memo := NewMemo(16, 0)
+	translateInto(t, memo, persistSrc, opt)
+	if st := memo.Stats(); st.Entries != 0 {
+		t.Fatalf("store fault did not drop the entry: %+v", st)
+	}
+}
+
+func TestMemoMaterializeFailpointActsAsMiss(t *testing.T) {
+	defer faults.Disable()
+	opt := Options{Strategy: Sharing, Linear: true, LiveCheck: true}
+	memo := NewMemo(16, 0)
+	translateInto(t, memo, persistSrc, opt)
+	key := MemoKeyFor(ir.MustParse(persistSrc), opt)
+	if memo.Lookup(key) == nil {
+		t.Fatal("expected a hit before arming the failpoint")
+	}
+	if err := faults.Enable("memo.materialize=err", 1); err != nil {
+		t.Fatal(err)
+	}
+	if memo.Lookup(key) != nil {
+		t.Fatal("materialize fault did not force a miss")
+	}
+	faults.Disable()
+	st := memo.Stats()
+	if st.Misses < 1 || st.Hits < 1 {
+		t.Fatalf("miss/hit accounting wrong: %+v", st)
+	}
+}

@@ -1,0 +1,105 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+const codecSrc = `
+func diamond {
+entry:
+  p = param 0
+  c0 = const 10
+  c = cmplt p c0
+  br c left right
+left (freq 4):
+  a = add p c0
+  jump join
+right:
+  b = sub p c0
+  jump join
+join:
+  x = phi left:a right:b
+  print x
+  ret x
+}
+`
+
+func TestCodecRoundTrip(t *testing.T) {
+	f := MustParse(codecSrc)
+	// Exercise the fields Parse never produces: derived vars and pins.
+	d := f.NewDerivedVar(VarID(0))
+	f.Vars[d].Reg = "r7"
+
+	data, err := EncodeJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != f.Name || g.NumParams != f.NumParams {
+		t.Fatalf("header mismatch: %s/%d vs %s/%d", g.Name, g.NumParams, f.Name, f.NumParams)
+	}
+	if len(g.Vars) != len(f.Vars) {
+		t.Fatalf("var count %d, want %d", len(g.Vars), len(f.Vars))
+	}
+	for i := range f.Vars {
+		fv, gv := f.Vars[i], g.Vars[i]
+		if fv.Name != gv.Name || fv.Reg != gv.Reg || fv.base != gv.base {
+			t.Fatalf("var %d mismatch: %+v vs %+v", i, *gv, *fv)
+		}
+		if f.VarName(VarID(i)) != g.VarName(VarID(i)) {
+			t.Fatalf("var %d display name %q vs %q", i, g.VarName(VarID(i)), f.VarName(VarID(i)))
+		}
+	}
+	if g.String() != f.String() {
+		t.Fatalf("textual form changed:\n--- got\n%s\n--- want\n%s", g.String(), f.String())
+	}
+	// Pred order carries φ-argument matching; check it survives exactly.
+	join := g.Blocks[3]
+	if join.Preds[0].Name != "left" || join.Preds[1].Name != "right" {
+		t.Fatalf("pred order lost: %s, %s", join.Preds[0].Name, join.Preds[1].Name)
+	}
+	if err := Verify(g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCodecFreqSurvives(t *testing.T) {
+	f := MustParse(codecSrc)
+	data, err := EncodeJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := DecodeJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Blocks[1].Freq != 4 {
+		t.Fatalf("freq = %v, want 4", g.Blocks[1].Freq)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	f := MustParse(codecSrc)
+	good, err := EncodeJSON(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string]string{
+		"not json":        `{"name":`,
+		"bad var index":   strings.Replace(string(good), `"uses":[0,1]`, `"uses":[0,99]`, 1),
+		"bad block index": strings.Replace(string(good), `"succs":[1,2]`, `"succs":[1,42]`, 1),
+		"bad opcode":      strings.Replace(string(good), `"op":14`, `"op":250`, 1),
+		"no blocks":       `{"name":"x","num_params":0,"vars":[],"blocks":[]}`,
+		"forward base":    `{"name":"x","num_params":0,"vars":[{"name":"a","base":1},{"name":"b"}],"blocks":[{"name":"e","freq":1,"preds":[],"succs":[],"instrs":[{"op":13}]}]}`,
+		"neg params":      strings.Replace(string(good), `"num_params":1`, `"num_params":-2`, 1),
+	}
+	for name, data := range cases {
+		if _, err := DecodeJSON([]byte(data)); err == nil {
+			t.Errorf("%s: decode succeeded, want error", name)
+		}
+	}
+}

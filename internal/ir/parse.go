@@ -2,10 +2,17 @@ package ir
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/faults"
 )
+
+// fpParse fires once per Parse call, before any input is consumed, so a
+// chaos schedule can make well-formed sources fail to load.
+var fpParse = faults.Register("parse.func")
 
 // Parse reads the textual IR form produced by Func.String. The grammar is
 // line oriented:
@@ -29,6 +36,9 @@ import (
 // and φ arguments are matched against that order, so blocks that are branch
 // targets of several blocks receive predecessors in source order.
 func Parse(src string) (*Func, error) {
+	if err := fpParse.Inject(); err != nil {
+		return nil, err
+	}
 	p := &parser{
 		vars:    map[string]VarID{},
 		blocks:  map[string]*Block{},
@@ -149,6 +159,9 @@ func (p *parser) run(src string) error {
 	if p.f == nil {
 		return fmt.Errorf("no function found")
 	}
+	if len(p.f.Blocks) == 0 {
+		return fmt.Errorf("function %q has no blocks", p.f.Name)
+	}
 	var undefined []string
 	for name := range p.blocks {
 		if !p.defined[name] {
@@ -170,12 +183,18 @@ func (p *parser) run(src string) error {
 func (p *parser) line(line string, ln int) error {
 	switch {
 	case strings.HasPrefix(line, "func "):
+		if p.f != nil {
+			return fmt.Errorf("second %q inside function body (use ParseAll for streams)", "func")
+		}
 		name := strings.TrimSuffix(strings.TrimSpace(strings.TrimPrefix(line, "func ")), "{")
 		p.f = NewFunc(strings.TrimSpace(name))
 		return nil
 	case line == "}":
 		return nil
 	case strings.HasSuffix(line, ":"):
+		if p.f == nil {
+			return fmt.Errorf("label before func header")
+		}
 		return p.label(strings.TrimSuffix(line, ":"))
 	}
 	if p.cur == nil {
@@ -198,7 +217,13 @@ func (p *parser) label(text string) error {
 		if err != nil {
 			return fmt.Errorf("bad freq: %w", err)
 		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("freq %v out of range", v)
+		}
 		freq = v
+	}
+	if name == "" {
+		return fmt.Errorf("empty block label")
 	}
 	if p.defined[name] {
 		return fmt.Errorf("duplicate label %q", name)
@@ -231,25 +256,66 @@ func (p *parser) instr(line string, ln int) error {
 
 	emit := func(in *Instr) { b.Instrs = append(b.Instrs, in) }
 
+	// arity rejects operand-count mismatches up front; without it, the
+	// args[i] indexing below would panic on truncated lines.
+	arity := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("op %q wants %d operand(s), got %d", op, n, len(args))
+		}
+		return nil
+	}
+	// def rejects definitions without a destination, which would
+	// otherwise silently create an anonymous variable.
+	def := func() error {
+		if dst == "" {
+			return fmt.Errorf("op %q needs a destination (dst = %s ...)", op, op)
+		}
+		return nil
+	}
+
 	switch op {
 	case "const":
+		if err := def(); err != nil {
+			return err
+		}
+		if err := arity(1); err != nil {
+			return err
+		}
 		c, err := strconv.ParseInt(args[0], 10, 64)
 		if err != nil {
 			return err
 		}
 		emit(&Instr{Op: OpConst, Defs: []VarID{p.v(dst)}, Aux: c})
 	case "param":
+		if err := def(); err != nil {
+			return err
+		}
+		if err := arity(1); err != nil {
+			return err
+		}
 		n, err := strconv.Atoi(args[0])
 		if err != nil {
 			return err
+		}
+		if n < 0 || n > maxParamIndex {
+			return fmt.Errorf("param index %d out of range [0, %d]", n, maxParamIndex)
 		}
 		if n+1 > p.f.NumParams {
 			p.f.NumParams = n + 1
 		}
 		emit(&Instr{Op: OpParam, Defs: []VarID{p.v(dst)}, Aux: int64(n)})
 	case "copy":
+		if err := def(); err != nil {
+			return err
+		}
+		if err := arity(1); err != nil {
+			return err
+		}
 		emit(&Instr{Op: OpCopy, Defs: []VarID{p.v(dst)}, Uses: []VarID{p.v(args[0])}})
 	case "phi":
+		if err := def(); err != nil {
+			return err
+		}
 		in := &Instr{Op: OpPhi, Defs: []VarID{p.v(dst)}}
 		b.Phis = append(b.Phis, in)
 		p.phiFixups = append(p.phiFixups, phiFixup{block: b, instr: in, args: args, line: ln})
@@ -265,30 +331,61 @@ func (p *parser) instr(line string, ln int) error {
 		}
 		emit(in)
 	case "print":
+		if err := arity(1); err != nil {
+			return err
+		}
 		emit(&Instr{Op: OpPrint, Uses: []VarID{p.v(args[0])}})
 	case "jump":
+		if err := arity(1); err != nil {
+			return err
+		}
 		emit(&Instr{Op: OpJump})
 		AddEdge(b, p.block(args[0]))
 	case "br":
+		if err := arity(3); err != nil {
+			return err
+		}
 		emit(&Instr{Op: OpBranch, Uses: []VarID{p.v(args[0])}})
 		AddEdge(b, p.block(args[1]))
 		AddEdge(b, p.block(args[2]))
 	case "brdec":
+		if err := def(); err != nil {
+			return err
+		}
+		if err := arity(3); err != nil {
+			return err
+		}
 		emit(&Instr{Op: OpBrDec, Defs: []VarID{p.v(dst)}, Uses: []VarID{p.v(args[0])}})
 		AddEdge(b, p.block(args[1]))
 		AddEdge(b, p.block(args[2]))
 	case "ret":
+		if len(args) > 1 {
+			return fmt.Errorf("op %q wants at most 1 operand, got %d", op, len(args))
+		}
 		in := &Instr{Op: OpRet}
 		if len(args) == 1 {
 			in.Uses = []VarID{p.v(args[0])}
 		}
 		emit(in)
 	case "nop":
+		if err := arity(0); err != nil {
+			return err
+		}
 		emit(&Instr{Op: OpNop})
 	default:
 		aop, ok := arithOps[op]
 		if !ok {
 			return fmt.Errorf("unknown op %q", op)
+		}
+		if err := def(); err != nil {
+			return err
+		}
+		want := 2
+		if aop == OpNeg {
+			want = 1
+		}
+		if err := arity(want); err != nil {
+			return err
 		}
 		in := &Instr{Op: aop, Defs: []VarID{p.v(dst)}}
 		for _, a := range args {
@@ -298,6 +395,10 @@ func (p *parser) instr(line string, ln int) error {
 	}
 	return nil
 }
+
+// maxParamIndex bounds OpParam's Aux so hostile sources can't demand an
+// absurd NumParams.
+const maxParamIndex = 65535
 
 func (p *parser) fixPhi(fix phiFixup) error {
 	in := fix.instr

@@ -71,6 +71,9 @@ func OutOfSSAWithMemo(opt core.Options, memo *core.Memo) []Pass {
 		{
 			Name: "out-of-ssa-insert",
 			Run: func(ctx *Context) error {
+				if err := fpOutOfSSA.Inject(); err != nil {
+					return err
+				}
 				if memo != nil {
 					ctx.Memo = memo
 					ctx.MemoChecked = true

@@ -20,8 +20,17 @@ import (
 
 	"repro/internal/analysis"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/ir"
 	"repro/internal/regalloc"
+)
+
+// Failpoints. fpPass fires inside Apply's recover scope on every pass
+// application; fpOutOfSSA fires at the entry of the out-of-SSA insert
+// pass, before the memo is consulted.
+var (
+	fpPass     = faults.Register("pipeline.pass")
+	fpOutOfSSA = faults.Register("pipeline.outofssa")
 )
 
 // PassError is the typed failure of one pass on one function. It is the
@@ -122,6 +131,11 @@ func Apply(ctx *Context, p Pass) (err error) {
 			err = &PassError{Func: ctx.Func.Name, Pass: p.Name, Err: fmt.Errorf("panic: %v", r)}
 		}
 	}()
+	// Inside the recover scope on purpose: an injected panic exercises the
+	// same containment path a real pass panic does.
+	if err := fpPass.Inject(); err != nil {
+		return &PassError{Func: ctx.Func.Name, Pass: p.Name, Err: err}
+	}
 	if err := p.Run(ctx); err != nil {
 		return &PassError{Func: ctx.Func.Name, Pass: p.Name, Err: err}
 	}

@@ -31,8 +31,13 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/outofssa/bench"
 )
+
+// fpAppend fires at Append entry, so chaos runs can verify callers survive
+// a failing result store.
+var fpAppend = faults.Register("bench.store.append")
 
 // DefaultDir is the conventional store location at the repository root.
 const DefaultDir = ".ssabench"
@@ -49,9 +54,9 @@ type Entry struct {
 	ID string `json:"id"`
 	// Trajectory and Commit are denormalized from the report for listing
 	// and resolution without decoding every envelope.
-	Trajectory string `json:"trajectory"`
-	Commit     string `json:"commit,omitempty"`
-	Timestamp  string `json:"timestamp,omitempty"`
+	Trajectory string        `json:"trajectory"`
+	Commit     string        `json:"commit,omitempty"`
+	Timestamp  string        `json:"timestamp,omitempty"`
 	Report     *bench.Report `json:"report"`
 }
 
@@ -91,6 +96,9 @@ func ID(rep *bench.Report) (string, error) {
 // Append adds one envelope to the run log and returns its id. Appending a
 // report whose id is already present is a no-op (idempotent re-append).
 func (s *Store) Append(rep *bench.Report) (string, error) {
+	if err := fpAppend.Inject(); err != nil {
+		return "", err
+	}
 	if rep == nil || rep.Trajectory == "" {
 		return "", fmt.Errorf("store: refusing to append a report with no trajectory")
 	}

@@ -16,7 +16,7 @@ func (r *fakeRunner) Scale() float64     { return 0.05 }
 func (r *fakeRunner) Run(rep *Report) error {
 	r.passes++
 	rep.SetParam("cases", "1")
-	rep.Sample("c1", "pooled", "copies_remaining", 7)                  // deterministic
+	rep.Sample("c1", "pooled", "copies_remaining", 7)                 // deterministic
 	rep.Sample("c1", "pooled", "ns_per_op", float64(100+10*r.passes)) // varying
 	return nil
 }

@@ -1,0 +1,161 @@
+package outofssa_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/outofssa"
+)
+
+// fuzzSeeds are the in-source seed corpus shared by both fuzz targets
+// (testdata/fuzz/ holds the same shapes as committed corpus files, plus
+// whatever the fuzzer later minimizes). They cover the paper's interesting
+// structures: straight line, diamond with φ, the lost-copy loop, and the
+// swap problem (cyclic parallel copy).
+var fuzzSeeds = []string{
+	"func f {\nentry:\n  a = param 0\n  b = const 2\n  c = add a b\n  print c\n  ret c\n}\n",
+	`
+func diamond {
+entry:
+  c = param 0
+  x0 = const 1
+  br c left right
+left:
+  x1 = const 2
+  jump join
+right:
+  x2 = add x0 x0
+  jump join
+join:
+  x3 = phi left:x1 right:x2
+  print x3
+  ret x3
+}
+`,
+	`
+func lostcopy {
+entry:
+  x1 = param 0
+  jump loop
+loop (freq 10):
+  x2 = phi entry:x1 loop:x3
+  one = const 1
+  x3 = add x2 one
+  ten = const 10
+  c = cmplt x3 ten
+  br c loop exit
+exit:
+  print x2
+  ret x2
+}
+`,
+	`
+func swap {
+entry:
+  a1 = param 0
+  b1 = param 1
+  jump loop
+loop:
+  a2 = phi entry:a1 loop:b2
+  b2 = phi entry:b1 loop:a2
+  s = add a2 b2
+  lim = const 20
+  c = cmplt s lim
+  br c loop exit
+exit:
+  ret s
+}
+`,
+	"func g {\nentry:\n  x = const 7\n  ret x\n}\nfunc h {\nentry:\n  y = param 0\n  print y\n  ret y\n}\n",
+	"not ir at all",
+	"func broken {\nentry:\n  x = phi nowhere:y\n}\n",
+}
+
+// FuzzParse asserts the parser never panics, and that anything it accepts
+// survives a print/re-parse round trip (String is Parse's inverse).
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fn, err := outofssa.Parse(src)
+		if err != nil {
+			return
+		}
+		if _, err := outofssa.Parse(fn.String()); err != nil {
+			t.Fatalf("accepted input does not re-parse after printing: %v\nprinted:\n%s", err, fn.String())
+		}
+	})
+}
+
+// FuzzTranslate is the differential oracle as a fuzz target: any function
+// the parser and SSA verifier accept must translate identically (success
+// or failure) under the reference machinery (linear scans, per-query
+// recomputation, no pooled state) and the optimized default (fast
+// liveness, linear class test), and both outputs must preserve the
+// pristine function's observable behaviour under the interpreter.
+func FuzzTranslate(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	refOpts := outofssa.DefaultOptions()
+	refOpts.ReferenceQueries = true
+	refOpts.ReferenceAlloc = true
+	ref, err := outofssa.New(outofssa.WithOptions(refOpts))
+	if err != nil {
+		f.Fatal(err)
+	}
+	opt, err := outofssa.New()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fns, err := outofssa.ParseAll(src)
+		if err != nil || len(fns) == 0 {
+			return
+		}
+		fn := fns[0]
+		if fn.NumParams > 8 {
+			return // keep the interpreter's parameter vectors small
+		}
+		pristine := outofssa.Clone(fn)
+		refIn := outofssa.Clone(fn)
+
+		refRes, refErr := ref.Translate(context.Background(), refIn)
+		optRes, optErr := opt.Translate(context.Background(), fn)
+		if (refErr == nil) != (optErr == nil) {
+			t.Fatalf("reference and optimized disagree on success: ref=%v opt=%v\ninput:\n%s",
+				refErr, optErr, pristine)
+		}
+		if refErr != nil {
+			return // both reject (e.g. not strict SSA): consistent, done
+		}
+
+		for trial := int64(0); trial < 3; trial++ {
+			params := make([]int64, pristine.NumParams)
+			for i := range params {
+				params[i] = trial*5 + int64(i) - 1
+			}
+			want, err := outofssa.Interpret(pristine, params, 20000)
+			if err != nil {
+				continue // original run diverges or traps: not an oracle case
+			}
+			a, err := outofssa.Interpret(refRes.Func, params, 20000)
+			if err != nil {
+				t.Fatalf("reference output fails to execute for %v: %v", params, err)
+			}
+			b, err := outofssa.Interpret(optRes.Func, params, 20000)
+			if err != nil {
+				t.Fatalf("optimized output fails to execute for %v: %v", params, err)
+			}
+			if !outofssa.Equivalent(want, a) {
+				t.Fatalf("reference translation changed behaviour for %v\ninput:\n%s\noutput:\n%s",
+					params, pristine, refRes.Func)
+			}
+			if !outofssa.Equivalent(want, b) {
+				t.Fatalf("optimized translation changed behaviour for %v\ninput:\n%s\noutput:\n%s",
+					params, pristine, optRes.Func)
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package outofssa
 
 import (
 	"fmt"
+	"io"
 
 	"repro/internal/core"
 )
@@ -65,6 +66,20 @@ func (m *Memo) Stats() MemoStats {
 		Entries:   st.Entries,
 		Bytes:     st.Bytes,
 	}
+}
+
+// Snapshot serializes the memo's contents to w as a versioned NDJSON
+// stream, oldest entry first, for reloading with Load after a restart. The
+// memo is locked for the duration; snapshot during drain, not under
+// traffic.
+func (m *Memo) Snapshot(w io.Writer) error { return m.m.Snapshot(w) }
+
+// Load reads a Snapshot stream into the memo, returning how many entries
+// were installed and how many damaged lines (torn tail, corruption) were
+// skipped. Only a missing or incompatible header is an error. Loaded
+// entries respect the memo's bounds.
+func (m *Memo) Load(r io.Reader) (loaded, skipped int, err error) {
+	return m.m.LoadSnapshot(r)
 }
 
 // WithMemo attaches a shared translation memo to the Translator: inputs

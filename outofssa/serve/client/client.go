@@ -19,10 +19,13 @@ import (
 	"repro/outofssa/serve"
 )
 
-// Client talks to one daemon. The zero value is not usable; use New.
+// Client talks to one daemon. The zero value is not usable; use New. A
+// plain Client performs exactly one HTTP attempt per call; WithRetry
+// derives one that retries transient failures under a RetryPolicy.
 type Client struct {
-	base string
-	hc   *http.Client
+	base  string
+	hc    *http.Client
+	retry *RetryPolicy
 }
 
 // New builds a client for the daemon at baseURL (e.g.
@@ -58,8 +61,22 @@ func IsOverloaded(err error) (time.Duration, bool) {
 	return 0, false
 }
 
-// Translate submits one function.
+// Translate submits one function. Under WithRetry, transient failures are
+// retried and — when the policy sets Hedge — a slow attempt races a
+// hedged duplicate (translation is pure, so duplicates are safe).
 func (c *Client) Translate(ctx context.Context, req serve.TranslateRequest) (*serve.TranslateResponse, error) {
+	if c.retry == nil {
+		return c.translateOnce(ctx, req)
+	}
+	if c.retry.Hedge > 0 {
+		return c.translateHedged(ctx, req)
+	}
+	return retryLoop(ctx, c.retry, func() (*serve.TranslateResponse, error) {
+		return c.translateOnce(ctx, req)
+	})
+}
+
+func (c *Client) translateOnce(ctx context.Context, req serve.TranslateRequest) (*serve.TranslateResponse, error) {
 	resp, err := c.post(ctx, "/v1/translate", req)
 	if err != nil {
 		return nil, err
@@ -81,7 +98,29 @@ func (c *Client) Translate(ctx context.Context, req serve.TranslateRequest) (*se
 // server-side remainder). The returned summary is the server's trailer
 // line; a stream that ended without one returns an error — the batch was
 // cut short.
+//
+// Under WithRetry only failures from before the first delivered item are
+// retried: once item has been called, a retry would replay results the
+// caller already consumed, so mid-stream failures surface immediately.
 func (c *Client) Batch(ctx context.Context, req serve.TranslateRequest, item func(serve.BatchItem) error) (*serve.BatchSummary, error) {
+	if c.retry == nil {
+		return c.batchOnce(ctx, req, item)
+	}
+	var delivered bool
+	wrapped := func(it serve.BatchItem) error {
+		delivered = true
+		if item == nil {
+			return nil
+		}
+		return item(it)
+	}
+	return retryLoopIf(ctx, c.retry, func() (*serve.BatchSummary, error) {
+		delivered = false
+		return c.batchOnce(ctx, req, wrapped)
+	}, func() bool { return !delivered })
+}
+
+func (c *Client) batchOnce(ctx context.Context, req serve.TranslateRequest, item func(serve.BatchItem) error) (*serve.BatchSummary, error) {
 	resp, err := c.post(ctx, "/v1/batch", req)
 	if err != nil {
 		return nil, err
@@ -123,8 +162,17 @@ func (c *Client) Batch(ctx context.Context, req serve.TranslateRequest, item fun
 	}
 }
 
-// Stats scrapes GET /v1/stats.
+// Stats scrapes GET /v1/stats (retried under WithRetry).
 func (c *Client) Stats(ctx context.Context) (*serve.StatsResponse, error) {
+	if c.retry == nil {
+		return c.statsOnce(ctx)
+	}
+	return retryLoop(ctx, c.retry, func() (*serve.StatsResponse, error) {
+		return c.statsOnce(ctx)
+	})
+}
+
+func (c *Client) statsOnce(ctx context.Context) (*serve.StatsResponse, error) {
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
 	if err != nil {
 		return nil, err
@@ -174,9 +222,17 @@ func errorFrom(resp *http.Response) error {
 		}
 	}
 	ae := &APIError{StatusCode: resp.StatusCode, Message: msg}
+	// RFC 9110 §10.2.3 allows both delta-seconds and an HTTP-date; proxies
+	// in front of the daemon commonly rewrite to the date form.
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		if sec, err := strconv.Atoi(ra); err == nil {
-			ae.RetryAfter = time.Duration(sec) * time.Second
+			if sec > 0 {
+				ae.RetryAfter = time.Duration(sec) * time.Second
+			}
+		} else if when, err := http.ParseTime(ra); err == nil {
+			if d := time.Until(when); d > 0 {
+				ae.RetryAfter = d
+			}
 		}
 	}
 	return ae

@@ -1,0 +1,203 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"math/rand/v2"
+	"net/http"
+	"time"
+
+	"repro/outofssa/serve"
+)
+
+// RetryPolicy describes how a Client derived with WithRetry handles
+// transient failures: capped exponential backoff with full jitter,
+// honoring the server's Retry-After hint, bounded by the caller's context.
+// It is the single source of truth for backoff against the daemon — the
+// load generator and every other caller use it instead of hand-rolling
+// 429 loops.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts, the first included; <= 0 selects 4.
+	MaxAttempts int
+	// BaseDelay scales the backoff: the attempt-n retry waits a uniformly
+	// random duration in [0, min(BaseDelay·2ⁿ⁻¹, MaxDelay)) — full jitter,
+	// so synchronized clients desynchronize. <= 0 selects 100ms.
+	BaseDelay time.Duration
+	// MaxDelay caps both the backoff and an honored Retry-After hint;
+	// <= 0 selects 5s.
+	MaxDelay time.Duration
+	// Hedge, when positive, arms hedged single-function requests: if a
+	// Translate attempt has not returned after this long, a duplicate is
+	// launched and the first success wins (the loser is canceled).
+	// Translation is pure, so duplicates cost capacity, never correctness.
+	Hedge time.Duration
+	// OnRetry, when non-nil, observes every retry and hedge launch before
+	// its delay: attempt is the 1-based attempt that just failed (or, for a
+	// timer-triggered hedge, is still running, with err nil), err the
+	// failure, delay the chosen backoff.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+func (p *RetryPolicy) maxAttempts() int {
+	if p.MaxAttempts <= 0 {
+		return 4
+	}
+	return p.MaxAttempts
+}
+
+func (p *RetryPolicy) baseDelay() time.Duration {
+	if p.BaseDelay <= 0 {
+		return 100 * time.Millisecond
+	}
+	return p.BaseDelay
+}
+
+func (p *RetryPolicy) maxDelay() time.Duration {
+	if p.MaxDelay <= 0 {
+		return 5 * time.Second
+	}
+	return p.MaxDelay
+}
+
+// delay picks the wait before the retry following failed attempt n,
+// honoring a server Retry-After hint when the failure carries one.
+func (p *RetryPolicy) delay(attempt int, err error) time.Duration {
+	cap := p.maxDelay()
+	var ae *APIError
+	if errors.As(err, &ae) && ae.RetryAfter > 0 {
+		if ae.RetryAfter < cap {
+			return ae.RetryAfter
+		}
+		return cap
+	}
+	exp := p.baseDelay()
+	for i := 1; i < attempt && exp < cap; i++ {
+		exp *= 2
+	}
+	if exp > cap {
+		exp = cap
+	}
+	return time.Duration(rand.Int64N(int64(exp) + 1))
+}
+
+// WithRetry derives a Client that applies policy to every call. The
+// receiver is untouched, so one underlying connection pool can serve both
+// retrying and single-attempt callers.
+func (c *Client) WithRetry(policy RetryPolicy) *Client {
+	cc := *c
+	cc.retry = &policy
+	return &cc
+}
+
+// Retryable reports whether err is worth retrying against the same daemon:
+// load shedding (429), drain (503), and transport-level failures
+// (connection reset, refused, broken stream) qualify; context
+// cancellation/expiry and every other typed API error (4xx rejections,
+// panic-isolation 500s — deterministic for a given request) do not.
+func Retryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var ae *APIError
+	if errors.As(err, &ae) {
+		return ae.StatusCode == http.StatusTooManyRequests ||
+			ae.StatusCode == http.StatusServiceUnavailable
+	}
+	// Not a typed daemon response: the transport failed underneath us.
+	return true
+}
+
+// retryLoop runs do under p until success, a non-retryable failure,
+// attempt exhaustion, or context expiry — returning the last error.
+func retryLoop[T any](ctx context.Context, p *RetryPolicy, do func() (T, error)) (T, error) {
+	return retryLoopIf(ctx, p, do, nil)
+}
+
+// retryLoopIf is retryLoop with an extra per-failure veto (Batch uses it
+// to refuse retrying once items were delivered).
+func retryLoopIf[T any](ctx context.Context, p *RetryPolicy, do func() (T, error), allow func() bool) (T, error) {
+	var zero T
+	for attempt := 1; ; attempt++ {
+		out, err := do()
+		if err == nil {
+			return out, nil
+		}
+		if attempt >= p.maxAttempts() || !Retryable(err) || ctx.Err() != nil ||
+			(allow != nil && !allow()) {
+			return zero, err
+		}
+		delay := p.delay(attempt, err)
+		if p.OnRetry != nil {
+			p.OnRetry(attempt, err, delay)
+		}
+		select {
+		case <-ctx.Done():
+			return zero, err
+		case <-time.After(delay):
+		}
+	}
+}
+
+// translateHedged is Translate's hedged mode: one attempt starts
+// immediately; if it neither succeeds nor fails within Hedge, a duplicate
+// races it. A failed attempt also launches the duplicate at once
+// (fail-fast hedging doubles as one retry). First success wins and cancels
+// the loser; a non-retryable failure wins immediately.
+func (c *Client) translateHedged(ctx context.Context, req serve.TranslateRequest) (*serve.TranslateResponse, error) {
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in whichever attempt lost
+
+	type result struct {
+		out *serve.TranslateResponse
+		err error
+	}
+	// Buffered to both attempts: the loser's send must never block a
+	// goroutine forever after we return.
+	ch := make(chan result, 2)
+	launch := func() {
+		go func() {
+			out, err := c.translateOnce(hctx, req)
+			ch <- result{out, err}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(c.retry.Hedge)
+	defer timer.Stop()
+
+	launched, done := 1, 0
+	var firstErr error
+	for {
+		select {
+		case <-timer.C:
+			if launched < 2 {
+				if c.retry.OnRetry != nil {
+					c.retry.OnRetry(1, nil, 0)
+				}
+				launch()
+				launched++
+			}
+		case r := <-ch:
+			done++
+			if r.err == nil {
+				return r.out, nil
+			}
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			if !Retryable(r.err) || ctx.Err() != nil {
+				return nil, r.err
+			}
+			if launched < 2 {
+				// The first attempt failed before the hedge timer: start
+				// the second immediately rather than waiting out the timer.
+				if c.retry.OnRetry != nil {
+					c.retry.OnRetry(1, r.err, 0)
+				}
+				launch()
+				launched++
+			} else if done == launched {
+				return nil, firstErr
+			}
+		}
+	}
+}

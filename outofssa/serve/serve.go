@@ -35,7 +35,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faults"
 	"repro/outofssa"
+)
+
+// Failpoints, one per handler stage. Placement contract: err-kind faults
+// fire before the request's terminal bucket is counted (the injection site
+// does its own accounting), and panic-kind faults fire only where no
+// terminal bucket has been counted yet, so the isolation middleware's
+// Panicked classification keeps the books balanced.
+var (
+	fpDecode    = faults.Register("serve.decode")
+	fpTranslate = faults.Register("serve.translate")
+	fpEncode    = faults.Register("serve.encode")
+	fpStats     = faults.Register("serve.stats")
 )
 
 // Config tunes a Server; the zero value selects every default.
@@ -122,12 +135,17 @@ func New(cfg Config) *Server {
 		s.memo = outofssa.NewMemo(s.cfg.MemoEntries, s.cfg.MemoBytes)
 	}
 	s.mux = http.NewServeMux()
-	s.mux.HandleFunc("POST /v1/translate", s.handleTranslate)
-	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/translate", s.recovering(true, s.handleTranslate))
+	s.mux.HandleFunc("POST /v1/batch", s.recovering(true, s.handleBatch))
+	s.mux.HandleFunc("GET /v1/stats", s.recovering(false, s.handleStats))
+	s.mux.HandleFunc("GET /healthz", s.recovering(false, s.handleHealth))
 	return s
 }
+
+// Memo returns the server-wide translation memo, or nil when memoization
+// is disabled. The daemon uses it to persist the memo across restarts
+// (snapshot on drain, load on boot).
+func (s *Server) Memo() *outofssa.Memo { return s.memo }
 
 // Config returns the server's configuration after defaulting.
 func (s *Server) Config() Config { return s.cfg }
@@ -161,6 +179,62 @@ func (s *Server) AdminHandler() http.Handler {
 	return mux
 }
 
+// ------------------------------------------------------------ panic fences
+
+// statusWriter tracks whether a handler already wrote a response, so the
+// panic fence knows whether a 500 can still go on the wire. Unwrap exposes
+// the underlying writer to http.NewResponseController (the batch handler's
+// Flush must keep working through the wrapper).
+type statusWriter struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(status int) {
+	sw.wrote = true
+	sw.ResponseWriter.WriteHeader(status)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	sw.wrote = true
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
+
+// recovering is the handler-level panic isolation: a panic escaping h —
+// a bug in the engine, or an injected fault — is contained to this request
+// instead of killing the daemon. The recovered request gets a typed 500
+// wire error when nothing has been written yet, panic_total always ticks,
+// and countReq marks the translate/batch routes whose requests land in the
+// Panicked bucket so the request books stay balanced. Gate slots and
+// timers are safe across the unwind: handlers defer their releases before
+// any code that can panic. http.ErrAbortHandler is the net/http-sanctioned
+// abort and is re-raised.
+func (s *Server) recovering(countReq bool, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.stats.panicTotal.Add(1)
+			if countReq {
+				s.stats.reqPanicked.Add(1)
+			}
+			if !sw.wrote {
+				writeError(sw, http.StatusInternalServerError,
+					fmt.Errorf("serve: internal panic: %v", rec))
+			}
+		}()
+		h(sw, r)
+	}
+}
+
 // ---------------------------------------------------------------- handlers
 
 func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
@@ -188,6 +262,12 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.release()
 	s.hold()
 
+	if err := fpTranslate.Inject(); err != nil {
+		s.stats.hist.observe(time.Since(start))
+		s.stats.reqFailed.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	res, terr := tr.Translate(ctx, fns[0])
 	s.stats.hist.observe(time.Since(start))
 	canceled := isCanceled(terr)
@@ -200,6 +280,11 @@ func (s *Server) handleTranslate(w http.ResponseWriter, r *http.Request) {
 	case terr != nil:
 		s.stats.reqFailed.Add(1)
 		writeError(w, http.StatusUnprocessableEntity, terr)
+		return
+	}
+	if err := fpEncode.Inject(); err != nil {
+		s.stats.reqFailed.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	s.stats.reqOK.Add(1)
@@ -245,6 +330,14 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	defer s.gate.release()
 	s.hold()
 
+	// Last point where a batch fault can still be reported as a status
+	// code: once the 200 header is out, errors can only end the stream.
+	if err := fpTranslate.Inject(); err != nil {
+		s.stats.hist.observe(time.Since(start))
+		s.stats.reqFailed.Add(1)
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	rc := http.NewResponseController(w)
@@ -317,6 +410,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if err := fpStats.Inject(); err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.statsResponse())
 }
 
@@ -337,6 +434,11 @@ func (s *Server) prepare(w http.ResponseWriter, r *http.Request) (TranslateReque
 	if s.draining.Load() {
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, errors.New("serve: draining"))
+		return TranslateRequest{}, nil, false
+	}
+	if err := fpDecode.Inject(); err != nil {
+		s.stats.reqBadRequest.Add(1)
+		writeError(w, http.StatusBadRequest, err)
 		return TranslateRequest{}, nil, false
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxRequestBytes)

@@ -21,6 +21,12 @@ type serverStats struct {
 	reqCanceled   atomic.Int64
 	reqOverloaded atomic.Int64
 	reqBadRequest atomic.Int64
+	reqPanicked   atomic.Int64
+
+	// panicTotal counts every handler panic the isolation middleware
+	// recovered, including on non-translation routes (reqPanicked covers
+	// only translate/batch, so the request books still balance).
+	panicTotal atomic.Int64
 
 	funcsOK       atomic.Int64
 	funcsFailed   atomic.Int64
@@ -69,7 +75,10 @@ type StatsResponse struct {
 
 	// Request accounting. OK + Failed + Canceled counts admitted requests
 	// that ran; Overloaded counts 429 rejections (never admitted, never in
-	// the latency histogram); BadRequest counts 4xx parse/option failures.
+	// the latency histogram); BadRequest counts 4xx parse/option failures;
+	// Panicked counts translate/batch requests ended by a recovered handler
+	// panic. Every translate/batch request lands in exactly one of these
+	// six buckets.
 	Requests struct {
 		Translate  int64 `json:"translate"`
 		Batch      int64 `json:"batch"`
@@ -78,7 +87,12 @@ type StatsResponse struct {
 		Canceled   int64 `json:"canceled"`
 		Overloaded int64 `json:"overloaded"`
 		BadRequest int64 `json:"bad_request"`
+		Panicked   int64 `json:"panicked"`
 	} `json:"requests"`
+
+	// PanicTotal counts every panic the handler-isolation middleware
+	// recovered, on any route. The daemon survives each one.
+	PanicTotal int64 `json:"panic_total"`
 
 	// Function accounting across all batches and single translations.
 	Functions struct {
@@ -158,6 +172,8 @@ func (s *Server) statsResponse() *StatsResponse {
 	out.Requests.Canceled = st.reqCanceled.Load()
 	out.Requests.Overloaded = st.reqOverloaded.Load()
 	out.Requests.BadRequest = st.reqBadRequest.Load()
+	out.Requests.Panicked = st.reqPanicked.Load()
+	out.PanicTotal = st.panicTotal.Load()
 	out.Functions.OK = st.funcsOK.Load()
 	out.Functions.Failed = st.funcsFailed.Load()
 	out.Functions.Canceled = st.funcsCanceled.Load()
